@@ -1,0 +1,49 @@
+"""Shared benchmark harness.
+
+Every benchmark regenerates one paper table/figure at the scaled-down
+geometry, prints it in the paper's layout, and appends it to
+``benchmarks/results/`` so EXPERIMENTS.md can reference the measured
+numbers.  pytest-benchmark wraps each run (rounds=1 — these are full
+training experiments, not microbenchmarks; the attention microbenchmark
+file uses proper rounds).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+import repro
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(autouse=True)
+def _seed():
+    repro.seed_all(2024)
+    yield
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record(results_dir):
+    """Print a table and persist it under benchmarks/results/."""
+
+    def _record(name: str, text: str) -> None:
+        print("\n" + text)
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+
+    return _record
+
+
+def run_once(benchmark, fn):
+    """Run a whole-experiment function exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,87 @@
+"""Ablation: attention microbenchmarks (Sec. 4.2 complexity claims).
+
+Measures forward+backward wall clock of each attention mechanism at
+increasing sequence lengths, isolating the mechanism from the rest of the
+model.  Reproduced shape: vanilla grows ~quadratically; group attention
+grows ~linearly in n (at fixed N); the crossover favours group attention
+at long lengths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.attention import (
+    GroupAttention,
+    LinformerAttention,
+    LocalAttention,
+    PerformerAttention,
+    VanillaAttention,
+)
+from repro.autograd import Tensor
+from repro.experiments import format_table
+
+from conftest import run_once
+
+LENGTHS = [64, 256, 1024]
+HEADS, DIM = 2, 16
+
+
+def make_mechanism(kind, rng):
+    if kind == "vanilla":
+        return VanillaAttention()
+    if kind == "group":
+        return GroupAttention(n_groups=32, kmeans_iters=2, rng=rng)
+    if kind == "performer":
+        return PerformerAttention(n_features=32, rng=rng)
+    if kind == "linformer":
+        return LinformerAttention(max_len=max(LENGTHS), proj_dim=32, rng=rng)
+    return LocalAttention(window=16)
+
+
+def step(mechanism, n, rng):
+    q = Tensor(rng.standard_normal((1, HEADS, n, DIM)), requires_grad=True)
+    k = Tensor(rng.standard_normal((1, HEADS, n, DIM)), requires_grad=True)
+    v = Tensor(rng.standard_normal((1, HEADS, n, DIM)), requires_grad=True)
+    mechanism(q, k, v).sum().backward()
+
+
+@pytest.mark.parametrize("kind", ["vanilla", "group", "performer", "linformer"])
+@pytest.mark.parametrize("n", LENGTHS)
+def test_attention_forward_backward(benchmark, kind, n):
+    rng = np.random.default_rng(0)
+    mechanism = make_mechanism(kind, rng)
+    benchmark.pedantic(
+        lambda: step(mechanism, n, rng), rounds=3, iterations=1, warmup_rounds=1
+    )
+
+
+def test_attention_scaling_summary(benchmark, record):
+    """One-shot scaling comparison with explicit ratio assertions."""
+    import time
+
+    def run():
+        rng = np.random.default_rng(1)
+        rows = []
+        times = {}
+        for kind in ["vanilla", "group", "performer", "linformer"]:
+            mechanism = make_mechanism(kind, rng)
+            for n in LENGTHS:
+                step(mechanism, n, rng)  # warmup
+                started = time.perf_counter()
+                for _ in range(3):
+                    step(mechanism, n, rng)
+                elapsed = (time.perf_counter() - started) / 3
+                times[(kind, n)] = elapsed
+                rows.append({"mechanism": kind, "n": n, "seconds": elapsed})
+        return rows, times
+
+    rows, times = run_once(benchmark, run)
+    record("ablation_attention_micro", format_table(
+        rows, title="Attention fwd+bwd wall clock vs sequence length"
+    ))
+    # Vanilla's cost grows faster than group attention's.
+    vanilla_growth = times[("vanilla", 1024)] / times[("vanilla", 64)]
+    group_growth = times[("group", 1024)] / times[("group", 64)]
+    assert vanilla_growth > group_growth
+    # At the longest length, group attention beats vanilla outright.
+    assert times[("group", 1024)] < times[("vanilla", 1024)]

@@ -1,0 +1,78 @@
+"""Ablation: the batch-size predictor (Sec. 5.2) and its training effect.
+
+Checks (a) prediction quality of the Alg. 2 + Alg. 3 pipeline against
+ground-truth binary searches on the memory model, and (b) the paper's
+claim that growing the batch as N shrinks reduces epoch time (they report
+~30% for a doubling).
+"""
+
+import numpy as np
+
+import repro
+from repro.data import Scaler
+from repro.experiments import BENCH, build_model, format_table
+from repro.scheduler import BatchSizePredictor
+from repro.simgpu import MemoryModel
+from repro.tasks import ClassificationTask
+from repro.train import Trainer
+
+from conftest import run_once
+
+
+def test_predictor_accuracy(benchmark, record):
+    def run():
+        model = MemoryModel(dim=64, n_heads=2, n_layers=8, ffn_dim=256)
+        capacity = 4 * 1024 ** 3
+        predictor = BatchSizePredictor(
+            lambda b, l, n: model.step_bytes("group", b, l, n_groups=n), capacity
+        )
+        predictor.fit(l_max=10_000, n_points=80, rng=np.random.default_rng(0))
+        rows = []
+        errors = []
+        for length, groups in [(500, 64), (2000, 64), (2000, 16), (10000, 64), (10000, 8)]:
+            true = predictor.measure(length, groups)
+            predicted = predictor.predict(length, groups)
+            if true > 0:
+                errors.append(abs(predicted - true) / true)
+            rows.append({"L": length, "N": groups, "true_B": true, "predicted_B": predicted})
+        return rows, float(np.mean(errors))
+
+    rows, mean_error = run_once(benchmark, run)
+    rows.append({"L": "mean rel err", "N": "", "true_B": "", "predicted_B": round(mean_error, 4)})
+    record("ablation_batchsize_accuracy", format_table(
+        rows, title="Batch-size predictor vs ground truth (Alg. 2 binary search)"
+    ))
+    assert mean_error < 0.35
+
+
+def test_bigger_batch_is_faster_per_epoch(benchmark, record):
+    """Paper: doubling the batch size cuts epoch time by ~30%."""
+
+    def run():
+        rng = np.random.default_rng(3)
+        bundle = repro.load_dataset("hhar", size_scale=0.008, length_scale=0.25, rng=rng)
+
+        def epoch_seconds(batch_size):
+            model = build_model("group", bundle, BENCH, rng=np.random.default_rng(4))
+            trainer = Trainer(
+                model, ClassificationTask(), repro.AdamW(model.parameters(), lr=1e-3)
+            )
+            history = trainer.fit(
+                bundle.train, epochs=2, batch_size=batch_size,
+                rng=np.random.default_rng(5),
+            )
+            return history.epochs[-1].seconds  # second epoch: warmed up
+
+        small = epoch_seconds(8)
+        large = epoch_seconds(16)
+        return small, large
+
+    small, large = run_once(benchmark, run)
+    record("ablation_batchsize_speed", format_table(
+        [{"batch_size": 8, "epoch_seconds": small},
+         {"batch_size": 16, "epoch_seconds": large},
+         {"batch_size": "speedup", "epoch_seconds": small / large}],
+        title="Epoch time vs batch size (group attention)",
+    ))
+    # Bigger batches amortize per-batch overhead: expect a visible speedup.
+    assert large < small * 1.05

@@ -1,0 +1,42 @@
+"""Figure 5: comparison to the non-deep-learning SOTA (GRAIL).
+
+Paper shape to reproduce: RITA (group attention) beats GRAIL in accuracy
+on all three univariate datasets by a wide margin (the expressive power
+of the Transformer), at a competitive training cost per epoch.
+"""
+
+import numpy as np
+
+from repro.experiments import BENCH, format_table, run_grail_comparison
+
+from conftest import run_once
+
+
+def test_fig5_grail_comparison(benchmark, record):
+    scale = BENCH.with_(epochs=10, size_scale=0.01, lr=3e-3)
+    rows = run_once(
+        benchmark,
+        lambda: run_grail_comparison(
+            datasets=("wisdm_uni", "hhar_uni", "rwhar_uni"), scale=scale, seed=31
+        ),
+    )
+    record(
+        "fig5_grail",
+        format_table(
+            rows,
+            columns=[
+                "dataset", "rita_accuracy", "grail_accuracy",
+                "rita_epoch_seconds", "grail_fit_seconds",
+            ],
+            title="Figure 5 — RITA (Group Attn.) vs GRAIL (univariate)",
+        ),
+    )
+    wins = sum(1 for r in rows if r["rita_accuracy"] >= r["grail_accuracy"])
+    # The paper's direction: RITA wins on accuracy.  At this scale we
+    # require winning on at least 2 of 3 datasets.
+    assert wins >= 2
+    for r in rows:
+        chance = {"wisdm_uni": 1 / 18, "hhar_uni": 1 / 5, "rwhar_uni": 1 / 8}[r["dataset"]]
+        # Above chance everywhere (>= with a tiny slack for the 18-class
+        # univariate WISDM*, which is hard at this training budget).
+        assert r["rita_accuracy"] >= chance * 0.9

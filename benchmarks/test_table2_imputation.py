@@ -1,0 +1,56 @@
+"""Table 2: imputation — MSE and training time per method per dataset.
+
+Paper shape to reproduce:
+* Group Attn. reaches comparable/better MSE at lower training time;
+* TST and Vanilla fail with OOM on MGH (length 10,000) — decided by the
+  simulated 16 GB V100 at paper geometry;
+* the efficient methods (Performer/Linformer/Group) all achieve low MSE
+  on MGH, with Group Attn. fastest.
+"""
+
+import pytest
+
+from repro.experiments import BENCH, format_table, run_imputation
+
+from conftest import run_once
+
+SCALES = {
+    "wisdm": BENCH.with_(epochs=3),
+    "hhar": BENCH.with_(epochs=3),
+    "rwhar": BENCH.with_(epochs=3),
+    "ecg": BENCH.with_(epochs=2, size_scale=0.003, length_scale=0.2),
+    "mgh": BENCH.with_(epochs=2, size_scale=0.004, length_scale=0.05),
+}
+
+
+@pytest.mark.parametrize("dataset", ["wisdm", "hhar", "rwhar", "ecg", "mgh"])
+def test_table2_imputation(benchmark, record, dataset):
+    rows = run_once(
+        benchmark, lambda: run_imputation(dataset, scale=SCALES[dataset], seed=11)
+    )
+    record(
+        f"table2_imputation_{dataset}",
+        format_table(
+            rows,
+            columns=["dataset", "method", "mse", "epoch_seconds", "note"],
+            title=f"Table 2 — imputation ({dataset})",
+        ),
+    )
+    by_method = {r["method"]: r for r in rows}
+    if dataset == "mgh":
+        # The paper's OOM entries.
+        assert by_method["TST"]["note"] == "N/A (OOM)"
+        assert by_method["Vanilla"]["note"] == "N/A (OOM)"
+        for method in ["Performer", "Linformer", "Group Attn."]:
+            assert by_method[method]["mse"] is not None
+    else:
+        # Everyone trains; group MSE within a small factor of vanilla's.
+        assert by_method["Group Attn."]["mse"] is not None
+        assert by_method["Vanilla"]["mse"] is not None
+        assert by_method["Group Attn."]["mse"] <= by_method["Vanilla"]["mse"] * 3 + 0.05
+    if dataset in ("ecg", "mgh"):
+        # Long series: group attention is the fastest RITA variant or close.
+        times = {
+            m: r["epoch_seconds"] for m, r in by_method.items() if r["epoch_seconds"]
+        }
+        assert times["Group Attn."] <= min(times.values()) * 1.5

@@ -1,0 +1,65 @@
+"""Tables 6-7: inference time over the validation set.
+
+Paper shape to reproduce:
+* on short series all methods are close;
+* on long series (ECG, MGH) Group Attn. is the fastest;
+* Vanilla and TST are N/A on MGH (cannot even run).
+"""
+
+import pytest
+
+from repro.experiments import BENCH, format_table, run_inference_time
+
+from conftest import run_once
+
+SCALES = {
+    "wisdm": BENCH,
+    "hhar": BENCH,
+    "rwhar": BENCH,
+    "ecg": BENCH.with_(size_scale=0.003, length_scale=0.2),
+    "mgh": BENCH.with_(size_scale=0.004, length_scale=0.05),
+}
+
+
+@pytest.mark.parametrize("dataset", ["wisdm", "hhar", "rwhar", "ecg"])
+def test_table6_inference_classification(benchmark, record, dataset):
+    rows = run_once(
+        benchmark,
+        lambda: run_inference_time(dataset, "classification", scale=SCALES[dataset], seed=37),
+    )
+    record(
+        f"table6_inference_classification_{dataset}",
+        format_table(
+            rows,
+            columns=["dataset", "method", "inference_seconds", "note"],
+            title=f"Table 6 — inference time, classification ({dataset})",
+        ),
+    )
+    by_method = {r["method"]: r for r in rows}
+    assert by_method["Group Attn."]["inference_seconds"] > 0
+    if dataset == "ecg":
+        assert (
+            by_method["Group Attn."]["inference_seconds"]
+            < by_method["Vanilla"]["inference_seconds"]
+        )
+
+
+@pytest.mark.parametrize("dataset", ["ecg", "mgh"])
+def test_table7_inference_imputation(benchmark, record, dataset):
+    rows = run_once(
+        benchmark,
+        lambda: run_inference_time(dataset, "imputation", scale=SCALES[dataset], seed=41),
+    )
+    record(
+        f"table7_inference_imputation_{dataset}",
+        format_table(
+            rows,
+            columns=["dataset", "method", "inference_seconds", "note"],
+            title=f"Table 7 — inference time, imputation ({dataset})",
+        ),
+    )
+    by_method = {r["method"]: r for r in rows}
+    if dataset == "mgh":
+        assert by_method["Vanilla"]["note"] == "N/A (OOM)"
+        assert by_method["TST"]["note"] == "N/A (OOM)"
+        assert by_method["Group Attn."]["inference_seconds"] is not None

@@ -1,0 +1,77 @@
+"""Anomaly detection on EEG-like streams via masked reconstruction.
+
+Extension of the paper's downstream tasks (its introduction motivates
+anomaly detection; A.7 shows how the pretrained model serves unsupervised
+tasks).  Recipe:
+
+1. pretrain RITA with the cloze task on *normal* EEG windows;
+2. score new windows by masked-reconstruction error;
+3. calibrate a threshold on a normal validation split;
+4. detect injected burst anomalies.
+
+Run:  python examples/anomaly_detection.py
+"""
+
+import numpy as np
+
+import repro
+from repro.data import ArrayDataset, Scaler
+from repro.data.synthetic import generate_eeg
+from repro.tasks import AnomalyDetector, PretrainTask
+
+
+def inject_bursts(x: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Add strong localized oscillatory bursts (seizure-like artifacts)."""
+    corrupted = x.copy()
+    length = x.shape[1]
+    for i in range(len(corrupted)):
+        start = rng.integers(0, length - length // 4)
+        span = length // 4
+        burst = 10.0 * np.hanning(span) * np.sin(np.linspace(0, 12 * np.pi, span))
+        corrupted[i, start : start + span, :] += burst[:, None]
+    return corrupted
+
+
+def main() -> None:
+    repro.seed_all(5)
+    rng = np.random.default_rng(5)
+
+    normal = generate_eeg(96, 128, n_channels=8, rng=rng).x
+    train, calib, test_normal = normal[:64], normal[64:80], normal[80:]
+    test_anomalous = inject_bursts(test_normal.copy(), rng)
+    scaler = Scaler.fit(train)
+
+    config = repro.RitaConfig(
+        input_channels=8, max_len=128, dim=32, n_heads=2, n_layers=2,
+        attention="group", n_groups=16, dropout=0.0,
+    )
+    model = repro.RitaModel(config, rng=rng)
+    trainer = repro.Trainer(
+        model, PretrainTask(scaler, mask_rate=0.2, rng=rng),
+        repro.AdamW(model.parameters(), lr=5e-3, weight_decay=0.0),
+    )
+    history = trainer.fit(ArrayDataset(x=train), epochs=30, batch_size=16, rng=rng)
+    print(f"pretraining final loss: {history.final.train_loss:.5f}")
+
+    # "max" reduction: bursts are localized, so the worst masked timestamp
+    # separates far better than the window-mean error.
+    detector = AnomalyDetector(
+        model, scaler, mask_rate=0.2, n_passes=3, reduction="max", rng=rng
+    )
+    threshold = detector.calibrate(calib, quantile=0.95)
+    print(f"calibrated threshold (95th percentile of normal): {threshold:.5f}\n")
+
+    clean = detector.detect(test_normal)
+    dirty = detector.detect(test_anomalous)
+    print(f"{'window':>7} {'normal score':>13} {'anomalous score':>16}")
+    for i in range(len(test_normal)):
+        print(f"{i:>7} {clean.scores[i]:>13.5f} {dirty.scores[i]:>16.5f}")
+
+    true_positive = dirty.is_anomaly.mean()
+    false_positive = clean.is_anomaly.mean()
+    print(f"\ndetection rate on burst windows: {true_positive:.0%}")
+    print(f"false positives on clean windows: {false_positive:.0%}")
+
+
+if __name__ == "__main__":
+    main()

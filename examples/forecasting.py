@@ -1,0 +1,77 @@
+"""Forecasting with RITA (paper A.7.3): predict the tail of an ECG trace.
+
+Forecasting is imputation with the mask at the end of the series: the
+model sees the first part of a recording and reconstructs the final
+``horizon`` timestamps.  This example trains on the ECG surrogate and
+prints per-horizon error to show degradation with lead time.
+
+Run:  python examples/forecasting.py
+"""
+
+import numpy as np
+
+import repro
+from repro.data import Scaler, mask_tail
+
+
+def main() -> None:
+    repro.seed_all(3)
+    rng = np.random.default_rng(3)
+
+    bundle = repro.load_dataset("ecg", size_scale=0.004, length_scale=0.1, rng=rng)
+    horizon = max(bundle.length // 8, 4)
+    print(
+        f"ECG surrogate: {len(bundle.train)} train, length={bundle.length}, "
+        f"forecast horizon={horizon}\n"
+    )
+    scaler = Scaler.fit(bundle.train.arrays["x"])
+
+    config = repro.RitaConfig(
+        input_channels=bundle.channels, max_len=bundle.length,
+        dim=32, n_heads=2, n_layers=2, attention="group", n_groups=16,
+        dropout=0.0,
+    )
+    model = repro.RitaModel(config, rng=rng)
+    task = repro.ForecastingTask(scaler, horizon=horizon)
+    trainer = repro.Trainer(model, task, repro.AdamW(model.parameters(), lr=3e-3))
+    history = trainer.fit(
+        bundle.train, epochs=10, batch_size=16, val_dataset=bundle.valid,
+        rng=rng, verbose=True,
+    )
+    print(f"\nvalidation forecast MSE: {history.final.val_metrics['mse']:.5f}")
+
+    # Per-lead-time error on one validation batch.
+    batch = bundle.valid[np.arange(min(16, len(bundle.valid)))]
+    scaled = scaler.transform(batch["x"])
+    masked, mask = mask_tail(scaled, horizon)
+    with repro.no_grad():
+        prediction = model.reconstruct(repro.Tensor(masked)).data
+    tail_error = ((prediction - scaled) ** 2)[:, -horizon:, :].mean(axis=(0, 2))
+    print("\nMSE by lead time (steps ahead):")
+    for step in range(0, horizon, max(horizon // 8, 1)):
+        print(f"  +{step + 1:3d}: {tail_error[step]:.5f}")
+
+    # Naive baselines for context.
+    from repro.baselines import MeanForecaster, PersistenceForecaster, SeasonalNaiveForecaster
+
+    history_part = scaled[:, :-horizon, :]
+    future = scaled[:, -horizon:, :]
+    model_mse = float(((prediction - scaled) ** 2)[:, -horizon:, :].mean())
+    print(f"\nmodel MSE          : {model_mse:.5f}")
+    for name, forecaster in [
+        ("persistence", PersistenceForecaster()),
+        ("seasonal naive", SeasonalNaiveForecaster()),
+        ("historical mean", MeanForecaster()),
+    ]:
+        baseline = forecaster.predict(history_part, horizon)
+        baseline_mse = float(((baseline - future) ** 2).mean())
+        print(f"{name:<19}: {baseline_mse:.5f}")
+    print(
+        "\n(naive baselines are strong at short horizons on smooth "
+        "quasi-periodic signals; the paper's full-scale training budget "
+        "— 100 epochs on ~30k series — closes the gap)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""Quickstart: train RITA with group attention on an activity-recognition task.
+
+Runs in well under a minute on a laptop CPU.  Demonstrates the core loop:
+
+1. load a (synthetic) WISDM-style dataset from the registry;
+2. build a RITA model with group attention;
+3. attach the adaptive scheduler (paper Sec. 5.1) so the number of groups
+   tracks the evolving embeddings;
+4. train, evaluate, and inspect how N evolved.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    repro.seed_all(0)
+    rng = np.random.default_rng(0)
+
+    # 1. Data: a scaled-down HHAR surrogate (5 activities, 3 channels,
+    #    heterogeneous devices — the paper's robustness testbed).
+    bundle = repro.load_dataset("hhar", size_scale=0.01, length_scale=0.5, rng=rng)
+    print(
+        f"dataset: {len(bundle.train)} train / {len(bundle.valid)} valid, "
+        f"length={bundle.length}, channels={bundle.channels}, "
+        f"classes={bundle.n_classes}"
+    )
+
+    # 2. Model: RITA with group attention.
+    config = repro.RitaConfig(
+        input_channels=bundle.channels,
+        max_len=bundle.length,
+        dim=32,
+        n_heads=2,
+        n_layers=2,
+        attention="group",
+        n_groups=16,
+        dropout=0.1,
+        n_classes=bundle.n_classes,
+    )
+    model = repro.RitaModel(config, rng=rng)
+    print(f"model: {model.num_parameters():,} parameters, attention={config.attention}")
+
+    # 3. Adaptive scheduler: give an error bound, never tune N again.
+    scheduler = repro.AdaptiveScheduler.for_model(
+        model, repro.AdaptiveSchedulerConfig(epsilon=2.0)
+    )
+
+    # 4. Train.
+    trainer = repro.Trainer(
+        model,
+        repro.ClassificationTask(),
+        repro.AdamW(model.parameters(), lr=1e-3),
+        adaptive_scheduler=scheduler,
+    )
+    history = trainer.fit(
+        bundle.train, epochs=5, batch_size=16, val_dataset=bundle.valid,
+        rng=rng, verbose=True,
+    )
+
+    print(f"\nbest validation accuracy: {history.best('accuracy'):.3f}")
+    print(f"average epoch time:        {history.avg_epoch_seconds():.2f}s")
+    print(f"groups per layer now:      {scheduler.current_groups}")
+    print(f"N history (layer 0):       {scheduler.history[0][:10]} ...")
+
+
+if __name__ == "__main__":
+    main()

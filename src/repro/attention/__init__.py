@@ -1,0 +1,31 @@
+"""Attention mechanisms: vanilla, group (RITA), Performer, Linformer, local."""
+
+from repro.attention.base import AttentionMechanism
+from repro.attention.vanilla import VanillaAttention
+from repro.attention.group import GroupAttention, GroupStats, group_attention_exact_output
+from repro.attention.performer import PerformerAttention, orthogonal_gaussian_features
+from repro.attention.linformer import LinformerAttention
+from repro.attention.local import LocalAttention
+from repro.attention.multihead import MultiHeadSelfAttention
+
+ATTENTION_KINDS = {
+    "vanilla": VanillaAttention,
+    "group": GroupAttention,
+    "performer": PerformerAttention,
+    "linformer": LinformerAttention,
+    "local": LocalAttention,
+}
+
+__all__ = [
+    "AttentionMechanism",
+    "VanillaAttention",
+    "GroupAttention",
+    "GroupStats",
+    "group_attention_exact_output",
+    "PerformerAttention",
+    "orthogonal_gaussian_features",
+    "LinformerAttention",
+    "LocalAttention",
+    "MultiHeadSelfAttention",
+    "ATTENTION_KINDS",
+]

@@ -1,0 +1,30 @@
+"""Attention mechanism interface.
+
+Every mechanism consumes per-head query/key/value tensors of shape
+``(B, H, n, d_head)`` and returns ``(B, H, n, d_head)``.  The surrounding
+:class:`~repro.attention.multihead.MultiHeadSelfAttention` module owns the
+QKV/output projections, so mechanisms are interchangeable — exactly how
+the paper swaps Vanilla / Performer / Linformer / Group Attention inside
+the same RITA architecture for its comparisons.
+"""
+
+from __future__ import annotations
+
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+__all__ = ["AttentionMechanism"]
+
+
+class AttentionMechanism(Module):
+    """Base class for pluggable attention mechanisms."""
+
+    #: Identifier used by the memory model and experiment harness.
+    kind: str = "base"
+
+    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def memory_kwargs(self) -> dict:
+        """Mechanism-specific arguments for ``MemoryModel.attention_elements``."""
+        return {}

@@ -1,0 +1,71 @@
+"""Linformer attention (Wang et al. 2020).
+
+The second linear-attention baseline of the paper: keys and values are
+projected along the *sequence* dimension with learned matrices ``E`` and
+``F`` of shape ``(proj_dim, max_len)``, exploiting the empirical low rank
+of attention matrices.  Note the paper's finding that these extra
+projection parameters make Linformer overfit in the few-label regime
+(Sec. 6.2.2) — our Table 3 benchmark reproduces that behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.attention.base import AttentionMechanism
+from repro.errors import ConfigError, ShapeError
+from repro.nn import init
+from repro.nn.module import Parameter
+
+__all__ = ["LinformerAttention"]
+
+
+class LinformerAttention(AttentionMechanism):
+    """Low-rank projected attention: ``softmax(Q (E K)^T) (F V)``.
+
+    Parameters
+    ----------
+    max_len:
+        Longest sequence the projections support (projection matrices are
+        sized against it, as in the original architecture).
+    proj_dim:
+        Projected sequence length ``k``; the paper tunes it over
+        {64, 128, 256, 512} per dataset.
+    """
+
+    kind = "linformer"
+
+    def __init__(
+        self,
+        max_len: int,
+        proj_dim: int = 64,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if proj_dim < 1:
+            raise ConfigError("proj_dim must be >= 1")
+        self.max_len = int(max_len)
+        self.proj_dim = int(proj_dim)
+        scale = 1.0 / math.sqrt(max_len)
+        self.key_proj = Parameter(init.normal((self.proj_dim, self.max_len), std=scale, rng=rng))
+        self.value_proj = Parameter(init.normal((self.proj_dim, self.max_len), std=scale, rng=rng))
+
+    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        n = q.shape[-2]
+        if n > self.max_len:
+            raise ShapeError(f"sequence length {n} exceeds Linformer max_len {self.max_len}")
+        d_k = q.shape[-1]
+        e_slice = self.key_proj[:, :n]  # (k, n)
+        f_slice = self.value_proj[:, :n]
+        projected_k = e_slice @ k  # (B, H, k, d_k) via broadcasting
+        projected_v = f_slice @ v
+        scores = (q @ projected_k.swapaxes(-1, -2)) * (1.0 / math.sqrt(d_k))
+        attn = ops.softmax(scores, axis=-1)
+        return attn @ projected_v
+
+    def memory_kwargs(self) -> dict:
+        return {"proj_dim": self.proj_dim}

@@ -1,0 +1,54 @@
+"""Fixed-window local attention.
+
+A representative of the fixed-pattern efficient Transformers discussed in
+the paper's related work (Sparse Transformer, Longformer): each position
+attends only to neighbours within ``window`` steps.  Included as an extra
+ablation baseline — the paper argues fixed patterns fit language locality,
+not timeseries periodicity, and our ablation benchmark quantifies that.
+
+The implementation materializes the dense mask (O(n^2) memory) since it
+exists for accuracy comparisons, not speed; the memory *model* accounts
+the idealized banded cost.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.attention.base import AttentionMechanism
+
+__all__ = ["LocalAttention"]
+
+
+class LocalAttention(AttentionMechanism):
+    """Banded softmax attention with radius ``window``."""
+
+    kind = "local"
+
+    def __init__(self, window: int = 16) -> None:
+        super().__init__()
+        self.window = int(window)
+        self._mask_cache: dict[int, np.ndarray] = {}
+
+    def _band_mask(self, n: int) -> np.ndarray:
+        mask = self._mask_cache.get(n)
+        if mask is None:
+            offsets = np.abs(np.arange(n)[:, None] - np.arange(n)[None, :])
+            mask = offsets > self.window
+            self._mask_cache[n] = mask
+        return mask
+
+    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        d_k = q.shape[-1]
+        n = q.shape[-2]
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / math.sqrt(d_k))
+        scores = ops.masked_fill(scores, self._band_mask(n), -1e9)
+        attn = ops.softmax(scores, axis=-1)
+        return attn @ v
+
+    def memory_kwargs(self) -> dict:
+        return {"window": self.window}

@@ -1,0 +1,62 @@
+"""Multi-head self-attention wrapper around a pluggable mechanism."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.attention.base import AttentionMechanism
+from repro.errors import ConfigError
+from repro.nn.linear import Linear
+from repro.nn.module import Module
+
+__all__ = ["MultiHeadSelfAttention"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Projects inputs to per-head Q/K/V, applies a mechanism, reprojects.
+
+    Parameters
+    ----------
+    dim:
+        Model (hidden) dimension.
+    n_heads:
+        Number of attention heads; must divide ``dim``.
+    mechanism:
+        Any :class:`~repro.attention.base.AttentionMechanism`; this is the
+        single point where RITA swaps group attention for the baselines.
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        n_heads: int,
+        mechanism: AttentionMechanism,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if dim % n_heads != 0:
+            raise ConfigError(f"dim {dim} must be divisible by n_heads {n_heads}")
+        self.dim = dim
+        self.n_heads = n_heads
+        self.head_dim = dim // n_heads
+        self.mechanism = mechanism
+        self.w_query = Linear(dim, dim, rng=rng)
+        self.w_key = Linear(dim, dim, rng=rng)
+        self.w_value = Linear(dim, dim, rng=rng)
+        self.w_out = Linear(dim, dim, rng=rng)
+
+    def _split_heads(self, x: Tensor) -> Tensor:
+        batch, n, _ = x.shape
+        return x.reshape(batch, n, self.n_heads, self.head_dim).transpose((0, 2, 1, 3))
+
+    def _merge_heads(self, x: Tensor) -> Tensor:
+        batch, heads, n, head_dim = x.shape
+        return x.transpose((0, 2, 1, 3)).reshape(batch, n, heads * head_dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        q = self._split_heads(self.w_query(x))
+        k = self._split_heads(self.w_key(x))
+        v = self._split_heads(self.w_value(x))
+        out = self.mechanism(q, k, v)
+        return self.w_out(self._merge_heads(out))

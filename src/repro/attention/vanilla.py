@@ -1,0 +1,27 @@
+"""Canonical scaled dot-product self-attention (Vaswani et al., Eq. 1-2).
+
+This is the ``Vanilla`` baseline of the paper: exact attention with
+O(n^2) time and memory in the sequence length.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.attention.base import AttentionMechanism
+
+__all__ = ["VanillaAttention"]
+
+
+class VanillaAttention(AttentionMechanism):
+    """Exact softmax attention: ``O = softmax(Q K^T / sqrt(d_k)) V``."""
+
+    kind = "vanilla"
+
+    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+        d_k = q.shape[-1]
+        scores = (q @ k.swapaxes(-1, -2)) * (1.0 / math.sqrt(d_k))
+        attn = ops.softmax(scores, axis=-1)
+        return attn @ v

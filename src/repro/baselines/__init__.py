@@ -1,0 +1,26 @@
+"""Baselines: TST (Transformer) and GRAIL (non-deep representation learning)."""
+
+from repro.baselines.tst import TSTConfig, TSTModel
+from repro.baselines.grail import GrailClassifier, GrailRepresentation, ncc_kernel, zscore
+from repro.baselines.classifiers import KNNClassifier, LogisticRegressionClassifier
+from repro.baselines.forecast_naive import (
+    MeanForecaster,
+    PersistenceForecaster,
+    SeasonalNaiveForecaster,
+    estimate_period,
+)
+
+__all__ = [
+    "TSTConfig",
+    "TSTModel",
+    "GrailClassifier",
+    "GrailRepresentation",
+    "ncc_kernel",
+    "zscore",
+    "KNNClassifier",
+    "LogisticRegressionClassifier",
+    "MeanForecaster",
+    "PersistenceForecaster",
+    "SeasonalNaiveForecaster",
+    "estimate_period",
+]

@@ -1,0 +1,115 @@
+"""Shallow classifiers used by the GRAIL pipeline (paper Sec. 6.4).
+
+GRAIL learns representations, then classifies them with an SVM or a
+k-nearest-neighbour classifier.  We provide kNN and a multinomial
+logistic regression (a linear maximum-margin-style stand-in for the SVM,
+trainable without an external solver).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.rng import get_rng
+
+__all__ = ["KNNClassifier", "LogisticRegressionClassifier"]
+
+
+class KNNClassifier:
+    """k-nearest-neighbour voting in Euclidean or cosine space."""
+
+    def __init__(self, k: int = 5, metric: str = "euclidean") -> None:
+        if metric not in {"euclidean", "cosine"}:
+            raise ConfigError(f"unknown metric {metric!r}")
+        self.k = int(k)
+        self.metric = metric
+        self._x: np.ndarray | None = None
+        self._y: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "KNNClassifier":
+        features = np.asarray(features, dtype=float)
+        if features.ndim != 2:
+            raise ShapeError(f"expected (n, d) features, got {features.shape}")
+        self._x = features
+        self._y = np.asarray(labels)
+        return self
+
+    def _distances(self, queries: np.ndarray) -> np.ndarray:
+        assert self._x is not None
+        if self.metric == "cosine":
+            a = queries / np.maximum(np.linalg.norm(queries, axis=1, keepdims=True), 1e-12)
+            b = self._x / np.maximum(np.linalg.norm(self._x, axis=1, keepdims=True), 1e-12)
+            return 1.0 - a @ b.T
+        sq = (
+            (queries ** 2).sum(axis=1)[:, None]
+            + (self._x ** 2).sum(axis=1)[None, :]
+            - 2.0 * queries @ self._x.T
+        )
+        return np.maximum(sq, 0.0)
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        if self._x is None or self._y is None:
+            raise ConfigError("KNNClassifier.predict called before fit")
+        queries = np.asarray(queries, dtype=float)
+        distances = self._distances(queries)
+        k = min(self.k, len(self._y))
+        neighbours = np.argpartition(distances, k - 1, axis=1)[:, :k]
+        votes = self._y[neighbours]
+        predictions = np.empty(len(queries), dtype=self._y.dtype)
+        for i, row in enumerate(votes):
+            values, counts = np.unique(row, return_counts=True)
+            predictions[i] = values[counts.argmax()]
+        return predictions
+
+    def score(self, queries: np.ndarray, labels: np.ndarray) -> float:
+        return float((self.predict(queries) == np.asarray(labels)).mean())
+
+
+class LogisticRegressionClassifier:
+    """Multinomial logistic regression trained by full-batch gradient descent."""
+
+    def __init__(
+        self,
+        lr: float = 0.5,
+        epochs: int = 200,
+        l2: float = 1e-4,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.lr = float(lr)
+        self.epochs = int(epochs)
+        self.l2 = float(l2)
+        self._rng = get_rng(rng)
+        self.weights: np.ndarray | None = None
+        self.bias: np.ndarray | None = None
+        self.classes_: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LogisticRegressionClassifier":
+        features = np.asarray(features, dtype=float)
+        labels = np.asarray(labels)
+        self.classes_, encoded = np.unique(labels, return_inverse=True)
+        n, d = features.shape
+        c = len(self.classes_)
+        one_hot = np.eye(c)[encoded]
+        self.weights = self._rng.normal(0.0, 0.01, size=(d, c))
+        self.bias = np.zeros(c)
+        for _ in range(self.epochs):
+            logits = features @ self.weights + self.bias
+            logits -= logits.max(axis=1, keepdims=True)
+            probs = np.exp(logits)
+            probs /= probs.sum(axis=1, keepdims=True)
+            grad_logits = (probs - one_hot) / n
+            grad_w = features.T @ grad_logits + self.l2 * self.weights
+            grad_b = grad_logits.sum(axis=0)
+            self.weights -= self.lr * grad_w
+            self.bias -= self.lr * grad_b
+        return self
+
+    def predict(self, queries: np.ndarray) -> np.ndarray:
+        if self.weights is None or self.classes_ is None:
+            raise ConfigError("LogisticRegressionClassifier.predict called before fit")
+        logits = np.asarray(queries, dtype=float) @ self.weights + self.bias
+        return self.classes_[logits.argmax(axis=1)]
+
+    def score(self, queries: np.ndarray, labels: np.ndarray) -> float:
+        return float((self.predict(queries) == np.asarray(labels)).mean())

@@ -1,0 +1,97 @@
+"""Naive forecasting baselines.
+
+Sanity comparators for the forecasting task (paper A.7.3): any learned
+forecaster should be judged against these free baselines.
+
+* :class:`PersistenceForecaster` — repeat the last observed value.
+* :class:`SeasonalNaiveForecaster` — repeat the value one (estimated or
+  given) period back; strong on the periodic signals this package studies.
+* :class:`MeanForecaster` — per-channel historical mean.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+
+__all__ = [
+    "PersistenceForecaster",
+    "SeasonalNaiveForecaster",
+    "MeanForecaster",
+    "estimate_period",
+]
+
+
+def _validate(history: np.ndarray) -> np.ndarray:
+    history = np.asarray(history, dtype=float)
+    if history.ndim != 3:
+        raise ShapeError(f"expected (B, L, m) history, got {history.shape}")
+    return history
+
+
+def estimate_period(series: np.ndarray, min_period: int = 2) -> int:
+    """Dominant period of a 1-D signal via the FFT peak.
+
+    Returns the rounded period in samples (>= ``min_period``); falls back
+    to ``min_period`` for aperiodic signals.
+    """
+    series = np.asarray(series, dtype=float).reshape(-1)
+    if len(series) < 2 * min_period:
+        return min_period
+    spectrum = np.abs(np.fft.rfft(series - series.mean())) ** 2
+    spectrum[0] = 0.0
+    peak = int(spectrum.argmax())
+    if peak == 0:
+        return min_period
+    period = int(round(len(series) / peak))
+    return max(period, min_period)
+
+
+class PersistenceForecaster:
+    """Repeat the last observed value for the whole horizon."""
+
+    def predict(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        history = _validate(history)
+        if horizon < 1:
+            raise ConfigError("horizon must be >= 1")
+        last = history[:, -1:, :]
+        return np.repeat(last, horizon, axis=1)
+
+
+class SeasonalNaiveForecaster:
+    """Repeat the value one period back: ``y[t] = y[t - period]``.
+
+    ``period=None`` estimates the period per sample from channel 0 via
+    the FFT (cf. the paper's periodicity premise, Sec. 4.1).
+    """
+
+    def __init__(self, period: int | None = None) -> None:
+        if period is not None and period < 1:
+            raise ConfigError("period must be >= 1")
+        self.period = period
+
+    def predict(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        history = _validate(history)
+        if horizon < 1:
+            raise ConfigError("horizon must be >= 1")
+        batch, length, channels = history.shape
+        out = np.empty((batch, horizon, channels))
+        for i in range(batch):
+            period = self.period or estimate_period(history[i, :, 0])
+            period = min(period, length)
+            template = history[i, -period:, :]
+            reps = int(np.ceil(horizon / period))
+            out[i] = np.tile(template, (reps, 1))[:horizon]
+        return out
+
+
+class MeanForecaster:
+    """Predict the per-channel mean of the history."""
+
+    def predict(self, history: np.ndarray, horizon: int) -> np.ndarray:
+        history = _validate(history)
+        if horizon < 1:
+            raise ConfigError("horizon must be >= 1")
+        mean = history.mean(axis=1, keepdims=True)
+        return np.repeat(mean, horizon, axis=1)

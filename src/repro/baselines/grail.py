@@ -1,0 +1,167 @@
+"""GRAIL baseline (Paparrizos & Franklin, VLDB'19).
+
+The state-of-the-art *non-deep-learning* timeseries representation method
+the paper compares against on univariate data (Sec. 6.4, Fig. 5).  GRAIL:
+
+1. selects ``k`` landmark series from the corpus;
+2. computes a shift-invariant kernel between every series and the
+   landmarks (SINK — normalized cross-correlation, computed via FFT);
+3. produces embeddings with a Nyström approximation of the kernel map;
+4. feeds the embeddings to a shallow classifier (SVM / kNN).
+
+The original is closed-source; this reimplementation follows the
+published pipeline.  Landmarks are chosen with k-means++ on z-normalized
+series (stand-in for the paper's k-Shape selection), the kernel is the
+max-shift NCC ("NCCc" in the SINK family), and the classifier is kNN or
+logistic regression from :mod:`repro.baselines.classifiers`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.baselines.classifiers import KNNClassifier, LogisticRegressionClassifier
+from repro.errors import ConfigError, ShapeError
+from repro.rng import get_rng
+
+__all__ = ["zscore", "ncc_kernel", "GrailRepresentation", "GrailClassifier"]
+
+
+def zscore(series: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Z-normalize along ``axis`` (constant series become zeros)."""
+    mean = series.mean(axis=axis, keepdims=True)
+    std = series.std(axis=axis, keepdims=True)
+    return (series - mean) / np.maximum(std, 1e-12)
+
+
+def ncc_kernel(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Max-shift normalized cross-correlation between series sets.
+
+    ``a``: ``(na, L)``; ``b``: ``(nb, L)``; returns ``(na, nb)`` with
+    entries in ``[-1, 1]``.  Cross-correlations over all shifts are
+    computed with FFTs in O(L log L) per pair, the same trick GRAIL uses.
+    """
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise ShapeError(f"incompatible series shapes {a.shape} and {b.shape}")
+    length = a.shape[1]
+    fft_size = 1 << int(np.ceil(np.log2(2 * length - 1)))
+    a_norm = zscore(a)
+    b_norm = zscore(b)
+    fa = np.fft.rfft(a_norm, fft_size)
+    fb = np.fft.rfft(b_norm, fft_size)
+    # cc[i, j, s] = sum_t a[i, t] b[j, t - s] for every shift s.
+    cc = np.fft.irfft(fa[:, None, :] * np.conj(fb[None, :, :]), fft_size)
+    cc = np.concatenate([cc[..., -(length - 1):], cc[..., :length]], axis=-1)
+    denom = length
+    return cc.max(axis=-1) / denom
+
+
+class GrailRepresentation:
+    """Landmark + Nyström embedding of univariate series."""
+
+    def __init__(
+        self,
+        n_landmarks: int = 20,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_landmarks < 2:
+            raise ConfigError("n_landmarks must be >= 2")
+        self.n_landmarks = int(n_landmarks)
+        self._rng = get_rng(rng)
+        self.landmarks: np.ndarray | None = None
+        self._projection: np.ndarray | None = None
+
+    def _select_landmarks(self, series: np.ndarray) -> np.ndarray:
+        """k-means++-style spread-out landmark selection on z-normed series."""
+        n = len(series)
+        k = min(self.n_landmarks, n)
+        normalized = zscore(series)
+        chosen = [int(self._rng.integers(0, n))]
+        min_dist = None
+        for _ in range(1, k):
+            latest = normalized[chosen[-1]][None, :]
+            dist = ((normalized - latest) ** 2).sum(axis=1)
+            min_dist = dist if min_dist is None else np.minimum(min_dist, dist)
+            total = min_dist.sum()
+            if total <= 0:
+                candidate = int(self._rng.integers(0, n))
+            else:
+                candidate = int(self._rng.choice(n, p=min_dist / total))
+            chosen.append(candidate)
+        return series[np.array(chosen)]
+
+    def fit(self, series: np.ndarray) -> "GrailRepresentation":
+        """Learn landmarks and the Nyström projection from ``(n, L)`` series."""
+        series = self._flatten(series)
+        self.landmarks = self._select_landmarks(series)
+        kernel = ncc_kernel(self.landmarks, self.landmarks)
+        # Symmetrize + eigendecompose; keep positive spectrum (Nyström).
+        kernel = 0.5 * (kernel + kernel.T)
+        eigenvalues, eigenvectors = np.linalg.eigh(kernel)
+        keep = eigenvalues > 1e-8
+        if not keep.any():
+            raise ConfigError("landmark kernel is degenerate; add landmarks")
+        self._projection = eigenvectors[:, keep] / np.sqrt(eigenvalues[keep])
+        return self
+
+    def transform(self, series: np.ndarray) -> np.ndarray:
+        """Embed ``(n, L)`` series into the Nyström feature space."""
+        if self.landmarks is None or self._projection is None:
+            raise ConfigError("GrailRepresentation.transform called before fit")
+        series = self._flatten(series)
+        cross = ncc_kernel(series, self.landmarks)
+        return cross @ self._projection
+
+    def fit_transform(self, series: np.ndarray) -> np.ndarray:
+        return self.fit(series).transform(series)
+
+    @staticmethod
+    def _flatten(series: np.ndarray) -> np.ndarray:
+        """Accept ``(n, L)`` or univariate ``(n, L, 1)``."""
+        series = np.asarray(series, dtype=float)
+        if series.ndim == 3:
+            if series.shape[2] != 1:
+                raise ShapeError("GRAIL supports univariate series only")
+            series = series[:, :, 0]
+        if series.ndim != 2:
+            raise ShapeError(f"expected (n, L) series, got {series.shape}")
+        return series
+
+
+class GrailClassifier:
+    """GRAIL representation + shallow classifier, with timing.
+
+    ``fit`` records ``train_seconds`` (representation learning + classifier
+    training), the quantity Fig. 5(b) compares against RITA's epoch time.
+    """
+
+    def __init__(
+        self,
+        n_landmarks: int = 20,
+        classifier: str = "knn",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        rng = get_rng(rng)
+        self.representation = GrailRepresentation(n_landmarks, rng=rng)
+        if classifier == "knn":
+            self.classifier = KNNClassifier(k=5)
+        elif classifier == "logreg":
+            self.classifier = LogisticRegressionClassifier(rng=rng)
+        else:
+            raise ConfigError(f"unknown classifier {classifier!r}")
+        self.train_seconds: float | None = None
+
+    def fit(self, series: np.ndarray, labels: np.ndarray) -> "GrailClassifier":
+        started = time.perf_counter()
+        embeddings = self.representation.fit_transform(series)
+        self.classifier.fit(embeddings, labels)
+        self.train_seconds = time.perf_counter() - started
+        return self
+
+    def predict(self, series: np.ndarray) -> np.ndarray:
+        return self.classifier.predict(self.representation.transform(series))
+
+    def score(self, series: np.ndarray, labels: np.ndarray) -> float:
+        return float((self.predict(series) == np.asarray(labels)).mean())

@@ -1,0 +1,182 @@
+"""TST baseline (Zerveas et al., KDD'21).
+
+The state-of-the-art Transformer framework for timeseries representation
+learning that RITA is compared against.  Architectural differences from
+RITA that the paper identifies as its weaknesses on long series
+(Sec. 6.2.1):
+
+1. **per-timestep linear projection** instead of a time-aware convolution,
+   so the token count equals the raw series length;
+2. **batch normalization** in place of layer normalization — biased when
+   long series force small batches;
+3. **concatenation classifier**: the outputs of *every* timestep are
+   concatenated and fed to one linear layer, whose parameter count grows
+   linearly with series length and overfits easily;
+4. vanilla O(n^2) self-attention, hence the OOM failures on MGH.
+
+The class implements the same task-facing interface as
+:class:`~repro.model.RitaModel` (``classify`` / ``reconstruct`` /
+``estimate_step_bytes``), so trainers and benchmarks treat them uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.attention import MultiHeadSelfAttention, VanillaAttention
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.errors import ConfigError, ShapeError
+from repro.nn import (
+    BatchNorm1d,
+    Dropout,
+    GELU,
+    LearnedPositionalEmbedding,
+    Linear,
+    Module,
+    ModuleList,
+    Sequential,
+)
+from repro.rng import get_rng
+from repro.simgpu.memory import MemoryModel
+
+__all__ = ["TSTConfig", "TSTModel"]
+
+
+@dataclass
+class TSTConfig:
+    """TST architecture configuration (vanilla attention only)."""
+
+    input_channels: int
+    max_len: int
+    dim: int = 64
+    n_heads: int = 2
+    n_layers: int = 8
+    ffn_dim: int | None = None
+    dropout: float = 0.1
+    n_classes: int | None = None
+    #: Fixed: TST always uses canonical self-attention.
+    attention: str = "vanilla"
+
+    def __post_init__(self) -> None:
+        if self.dim % self.n_heads != 0:
+            raise ConfigError(f"dim {self.dim} not divisible by n_heads {self.n_heads}")
+        if self.ffn_dim is None:
+            self.ffn_dim = 4 * self.dim
+
+    def n_windows(self, length: int) -> int:
+        """Token count equals raw length (per-timestep projection)."""
+        return length
+
+
+class _TSTEncoderLayer(Module):
+    """Transformer layer with BatchNorm over the feature dimension."""
+
+    def __init__(self, config: TSTConfig, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.attention = MultiHeadSelfAttention(
+            config.dim, config.n_heads, VanillaAttention(), rng=rng
+        )
+        self.ffn = Sequential(
+            Linear(config.dim, config.ffn_dim, rng=rng),
+            GELU(),
+            Linear(config.ffn_dim, config.dim, rng=rng),
+        )
+        self.norm_attention = BatchNorm1d(config.dim)
+        self.norm_ffn = BatchNorm1d(config.dim)
+        self.dropout_attention = Dropout(config.dropout)
+        self.dropout_ffn = Dropout(config.dropout)
+
+    def _batch_norm(self, norm: BatchNorm1d, x: Tensor) -> Tensor:
+        # (B, L, d) -> (B, d, L) for channel-wise statistics, then back.
+        return norm(x.transpose((0, 2, 1))).transpose((0, 2, 1))
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self._batch_norm(
+            self.norm_attention, x + self.dropout_attention(self.attention(x))
+        )
+        x = self._batch_norm(self.norm_ffn, x + self.dropout_ffn(self.ffn(x)))
+        return x
+
+
+class TSTModel(Module):
+    """TST: per-timestep projection + vanilla Transformer + concat classifier."""
+
+    def __init__(self, config: TSTConfig, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = get_rng(rng)
+        self.config = config
+        self.input_projection = Linear(config.input_channels, config.dim, rng=rng)
+        self.positions = LearnedPositionalEmbedding(config.max_len, config.dim, rng=rng)
+        self.layers = ModuleList(
+            _TSTEncoderLayer(config, rng) for _ in range(config.n_layers)
+        )
+        if config.n_classes is not None:
+            # The concatenation classifier: parameters grow with max_len.
+            self.classifier = Linear(config.max_len * config.dim, config.n_classes, rng=rng)
+        else:
+            self.classifier = None
+        self.output_projection = Linear(config.dim, config.input_channels, rng=rng)
+
+    def encode(self, series) -> Tensor:
+        """``(B, L, m)`` -> per-timestep representations ``(B, L, d)``."""
+        series = as_tensor(series)
+        if series.ndim != 3:
+            raise ShapeError(f"expected (B, L, m) series, got {series.shape}")
+        hidden = self.positions(self.input_projection(series))
+        for layer in self.layers:
+            hidden = layer(hidden)
+        return hidden
+
+    def classify(self, series) -> Tensor:
+        """Logits from the concatenated per-timestep outputs."""
+        if self.classifier is None:
+            raise ConfigError("TST built without n_classes; no classifier head")
+        series = as_tensor(series)
+        batch, length, _ = series.shape
+        if length != self.config.max_len:
+            raise ShapeError(
+                f"TST concat classifier requires length == max_len "
+                f"({length} != {self.config.max_len})"
+            )
+        hidden = self.encode(series)
+        flat = hidden.reshape(batch, length * self.config.dim)
+        return self.classifier(flat)
+
+    def reconstruct(self, series) -> Tensor:
+        """Per-timestep linear decoding for imputation."""
+        hidden = self.encode(series)
+        return self.output_projection(hidden)
+
+    def embed(self, series) -> np.ndarray:
+        """Mean-pooled representation (TST has no [CLS] token)."""
+        from repro.autograd.tensor import no_grad
+
+        with no_grad():
+            hidden = self.encode(series)
+        return hidden.data.mean(axis=1)
+
+    # -- interface parity with RitaModel ---------------------------------
+    def group_attention_layers(self) -> list:
+        return []
+
+    def mean_groups(self) -> float:
+        return 0.0
+
+    def memory_model(self) -> MemoryModel:
+        return MemoryModel(
+            dim=self.config.dim,
+            n_heads=self.config.n_heads,
+            n_layers=self.config.n_layers,
+            ffn_dim=self.config.ffn_dim,
+        )
+
+    def estimate_step_bytes(self, batch_size: int, length: int) -> int:
+        base = self.memory_model().step_bytes("vanilla", batch_size, length)
+        if self.classifier is not None:
+            # The concat classifier's activations and weight gradients.
+            extra = 2 * batch_size * length * self.config.dim
+            base += extra * 4
+        return base

@@ -1,0 +1,31 @@
+"""Clustering substrate: batched K-means and Lemma-2 cluster merging."""
+
+from repro.cluster.kmeans import (
+    KMeansResult,
+    batched_kmeans,
+    kmeans_pp_init,
+    pairwise_sq_distances,
+)
+from repro.cluster.merge import (
+    MergePlan,
+    apply_merges,
+    build_merge_graph,
+    count_mergeable,
+    find_mergeable,
+    greedy_clique_cover_size,
+    merged_max_deviation,
+)
+
+__all__ = [
+    "KMeansResult",
+    "batched_kmeans",
+    "kmeans_pp_init",
+    "pairwise_sq_distances",
+    "MergePlan",
+    "apply_merges",
+    "build_merge_graph",
+    "count_mergeable",
+    "find_mergeable",
+    "greedy_clique_cover_size",
+    "merged_max_deviation",
+]

@@ -1,0 +1,193 @@
+"""Batched K-means in the paper's GPU-friendly formulation (Sec. 4.4).
+
+The grouping step of group attention clusters the *key* vectors of every
+attention head.  Requirements from the paper:
+
+1. tight distance bound — K-means minimizes point-to-center distance;
+2. lightweight — a handful of Lloyd iterations, O(n N) per iteration;
+3. GPU friendly — distances via ``|v|^2 + |c|^2 - 2 v . c`` so the inner
+   loop is one matrix product, not a pairwise difference.
+
+All routines are *batched*: ``points`` has shape ``(B, n, d)`` and every
+batch element is clustered independently but in one vectorized pass, which
+is how the real system amortizes the grouping over ``batch x heads``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.rng import get_rng
+
+__all__ = ["KMeansResult", "batched_kmeans", "pairwise_sq_distances", "kmeans_pp_init"]
+
+
+@dataclass
+class KMeansResult:
+    """Outcome of one batched K-means run.
+
+    Attributes
+    ----------
+    assignments:
+        ``(B, n)`` int array; cluster id of each point.
+    centers:
+        ``(B, N, d)`` cluster centroids.  Empty clusters keep their previous
+        (or initial) center.
+    counts:
+        ``(B, N)`` cluster sizes.
+    radii:
+        ``(B, N)`` max distance from any member to its center (0 for empty
+        clusters).  This is the ``max_x |x - c_k|`` quantity of Lemma 2.
+    inertia:
+        ``(B,)`` sum of squared member-to-center distances.
+    """
+
+    assignments: np.ndarray
+    centers: np.ndarray
+    counts: np.ndarray
+    radii: np.ndarray
+    inertia: np.ndarray
+
+    @property
+    def n_clusters(self) -> int:
+        return self.centers.shape[1]
+
+
+def pairwise_sq_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    """Squared distances via ``|v|^2 + |c|^2 - 2 v . c`` (matrix product form).
+
+    ``points``: ``(B, n, d)``; ``centers``: ``(B, N, d)``; returns ``(B, n, N)``.
+    This is the formulation of paper Sec. 4.4 — the bottleneck term
+    ``v . c`` is a batched matmul rather than a pairwise difference.
+    """
+    point_sq = np.einsum("bnd,bnd->bn", points, points, optimize=True)[:, :, None]
+    center_sq = np.einsum("bkd,bkd->bk", centers, centers, optimize=True)[:, None, :]
+    cross = points @ np.swapaxes(centers, -1, -2)
+    distances = point_sq + center_sq - 2.0 * cross
+    # Round-off can push tiny distances below zero.
+    np.maximum(distances, 0.0, out=distances)
+    return distances
+
+
+def kmeans_pp_init(
+    points: np.ndarray,
+    n_clusters: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """k-means++ seeding, batched over the leading dimension.
+
+    Returns ``(B, N, d)`` initial centers.  Used when no warm-start centers
+    are available (first training iteration of each group-attention layer).
+    """
+    generator = get_rng(rng)
+    batch, n, dim = points.shape
+    centers = np.empty((batch, n_clusters, dim), dtype=points.dtype)
+    first = generator.integers(0, n, size=batch)
+    centers[:, 0] = points[np.arange(batch), first]
+    closest = None
+    for k in range(1, n_clusters):
+        newest = centers[:, k - 1][:, None, :]
+        dist_new = ((points - newest) ** 2).sum(axis=-1)
+        closest = dist_new if closest is None else np.minimum(closest, dist_new)
+        total = closest.sum(axis=1, keepdims=True)
+        # Guard: all points identical -> sample uniformly.
+        probs = np.where(total > 0, closest / np.maximum(total, 1e-30), 1.0 / n)
+        cumulative = np.cumsum(probs, axis=1)
+        draws = generator.random((batch, 1))
+        chosen = (cumulative < draws).sum(axis=1).clip(0, n - 1)
+        centers[:, k] = points[np.arange(batch), chosen]
+    return centers
+
+
+def batched_kmeans(
+    points: np.ndarray,
+    n_clusters: int,
+    n_iters: int = 2,
+    init_centers: np.ndarray | None = None,
+    rng: np.random.Generator | None = None,
+    init: str = "random",
+) -> KMeansResult:
+    """Run a few Lloyd iterations of K-means on each batch element.
+
+    Parameters
+    ----------
+    points:
+        ``(B, n, d)`` array to cluster (typically key vectors per head).
+    n_clusters:
+        Number of groups ``N``; clipped to ``n``.
+    n_iters:
+        Lloyd iterations.  The paper observes a few iterations suffice
+        because group attention is robust to imperfect clusterings.
+    init_centers:
+        Warm-start centers ``(B, N, d)``; overrides ``init``.  Warm starts
+        come from the previous training step of the same layer.
+    init:
+        ``"random"`` (sample N distinct points) or ``"++"`` (k-means++).
+
+    Notes
+    -----
+    Empty clusters keep their previous centers; their radius is 0 and count
+    is 0, so they never violate merge conditions and simply waste capacity
+    until the adaptive scheduler shrinks ``N``.
+    """
+    if points.ndim != 3:
+        raise ShapeError(f"batched_kmeans expects (B, n, d) points, got {points.shape}")
+    generator = get_rng(rng)
+    batch, n, dim = points.shape
+    n_clusters = int(min(n_clusters, n))
+    if n_clusters < 1:
+        raise ShapeError("n_clusters must be >= 1")
+
+    if init_centers is not None:
+        if init_centers.shape != (batch, n_clusters, dim):
+            raise ShapeError(
+                f"init_centers shape {init_centers.shape} != {(batch, n_clusters, dim)}"
+            )
+        centers = init_centers.astype(points.dtype, copy=True)
+    elif init == "++":
+        centers = kmeans_pp_init(points, n_clusters, rng=generator)
+    else:
+        # Sample N distinct indices per batch element in one pass.
+        choice = np.argsort(generator.random((batch, n)), axis=1)[:, :n_clusters]
+        centers = np.take_along_axis(points, choice[:, :, None], axis=1).copy()
+
+    assignments = np.zeros((batch, n), dtype=np.int64)
+    batch_index = np.arange(batch)[:, None]
+    for _ in range(max(n_iters, 1)):
+        distances = pairwise_sq_distances(points, centers)
+        assignments = distances.argmin(axis=-1)
+        # Recompute centers with a batched scatter-add.
+        sums = np.zeros((batch, n_clusters, dim), dtype=points.dtype)
+        flat_ids = (assignments + np.arange(batch)[:, None] * n_clusters).reshape(-1)
+        np.add.at(
+            sums.reshape(batch * n_clusters, dim), flat_ids, points.reshape(-1, dim)
+        )
+        counts = np.zeros((batch, n_clusters), dtype=np.int64)
+        np.add.at(counts.reshape(-1), flat_ids, 1)
+        nonempty = counts > 0
+        centers = np.where(
+            nonempty[:, :, None], sums / np.maximum(counts, 1)[:, :, None], centers
+        )
+
+    distances = pairwise_sq_distances(points, centers)
+    assignments = distances.argmin(axis=-1)
+    member_sq = distances[batch_index, np.arange(n)[None, :], assignments]
+
+    counts = np.zeros((batch, n_clusters), dtype=np.int64)
+    flat_ids = (assignments + np.arange(batch)[:, None] * n_clusters).reshape(-1)
+    np.add.at(counts.reshape(-1), flat_ids, 1)
+
+    radii_sq = np.zeros((batch, n_clusters), dtype=points.dtype)
+    np.maximum.at(radii_sq.reshape(-1), flat_ids, member_sq.reshape(-1))
+
+    inertia = member_sq.sum(axis=1)
+    return KMeansResult(
+        assignments=assignments,
+        centers=centers,
+        counts=counts,
+        radii=np.sqrt(radii_sq),
+        inertia=inertia,
+    )

@@ -1,0 +1,211 @@
+"""Mergeable-cluster detection (paper Sec. 5.1, Lemma 2).
+
+Finding the maximum number of mergeable clusters is a minimum clique cover
+(NP-hard), so the paper uses a halving heuristic: split the clusters into
+two sets ``S1`` and ``S2``; a cluster ``j`` in ``S2`` is *marked* when some
+``i`` in ``S1`` satisfies
+
+    max_{x in cluster_i} |c_i - c_j| + |x - c_i|  <=  d          (A)
+    max_{x in cluster_j} |c_j - c_i| + |x - c_j|  <=  d / 2      (B)
+
+Clusters in ``S1`` act as transfer nodes: condition (B)'s tighter ``d/2``
+bound lets several marked ``S2`` clusters merge with one ``S1`` cluster
+while keeping the Lemma 2 premise (``|c_ki - c_kj| + |x - c_ki| <= d`` for
+every pair) intact, as shown by the triangle-inequality chain of Eq. (6).
+
+The adaptive scheduler only needs the *count* of marked clusters to shrink
+``N``; :func:`apply_merges` actually performs the merge (used by tests to
+validate Lemma 2 empirically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = [
+    "MergePlan",
+    "find_mergeable",
+    "count_mergeable",
+    "apply_merges",
+    "merged_max_deviation",
+    "build_merge_graph",
+    "greedy_clique_cover_size",
+]
+
+
+@dataclass
+class MergePlan:
+    """Mergeable clusters detected by the halving heuristic.
+
+    Attributes
+    ----------
+    marked:
+        ``(B, N2)`` boolean: which ``S2`` clusters can be absorbed.
+    target:
+        ``(B, N2)`` int: index *into S1* of the absorbing cluster
+        (meaningful only where ``marked``).
+    s1_size:
+        Number of clusters in the ``S1`` half.
+    n_merged:
+        ``(B,)`` number of marked clusters per batch element.
+    """
+
+    marked: np.ndarray
+    target: np.ndarray
+    s1_size: int
+    n_merged: np.ndarray
+
+
+def _center_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise center distances ``(B, Na, Nb)`` (Euclidean)."""
+    diff_sq = (
+        np.einsum("bnd,bnd->bn", a, a, optimize=True)[:, :, None]
+        + np.einsum("bmd,bmd->bm", b, b, optimize=True)[:, None, :]
+        - 2.0 * (a @ np.swapaxes(b, -1, -2))
+    )
+    return np.sqrt(np.maximum(diff_sq, 0.0))
+
+
+def find_mergeable(
+    centers: np.ndarray,
+    radii: np.ndarray,
+    counts: np.ndarray,
+    threshold: float,
+) -> MergePlan:
+    """Detect clusters mergeable under the error-bound distance ``threshold``.
+
+    Parameters
+    ----------
+    centers:
+        ``(B, N, d)`` cluster centers.
+    radii:
+        ``(B, N)`` max member-to-center distance per cluster.
+    counts:
+        ``(B, N)`` cluster sizes; empty clusters are always absorbable.
+    threshold:
+        The distance bound ``d`` obtained from the user's error bound
+        ``eps`` via Lemma 1 (``d = ln(eps) / (2R)``).
+    """
+    if centers.ndim != 3:
+        raise ShapeError(f"find_mergeable expects (B, N, d) centers, got {centers.shape}")
+    batch, n_clusters, _ = centers.shape
+    half = n_clusters // 2
+    if half == 0:
+        return MergePlan(
+            marked=np.zeros((batch, 0), dtype=bool),
+            target=np.zeros((batch, 0), dtype=np.int64),
+            s1_size=n_clusters,
+            n_merged=np.zeros(batch, dtype=np.int64),
+        )
+    s1_centers, s2_centers = centers[:, :half], centers[:, half:]
+    s1_radii, s2_radii = radii[:, :half], radii[:, half:]
+    s2_counts = counts[:, half:]
+
+    dist = _center_distances(s1_centers, s2_centers)  # (B, N1, N2)
+    cond_a = dist + s1_radii[:, :, None] <= threshold
+    cond_b = dist + s2_radii[:, None, :] <= threshold / 2.0
+    eligible = cond_a & cond_b  # (B, N1, N2)
+
+    marked = eligible.any(axis=1)
+    target = eligible.argmax(axis=1).astype(np.int64)
+    # Empty S2 clusters can always be dropped: merging nothing is safe.
+    empty = s2_counts == 0
+    marked = marked | empty
+    n_merged = marked.sum(axis=1).astype(np.int64)
+    return MergePlan(marked=marked, target=target, s1_size=half, n_merged=n_merged)
+
+
+def count_mergeable(
+    centers: np.ndarray,
+    radii: np.ndarray,
+    counts: np.ndarray,
+    threshold: float,
+) -> np.ndarray:
+    """Number of mergeable clusters per batch element (scheduler's ``D``)."""
+    return find_mergeable(centers, radii, counts, threshold).n_merged
+
+
+def apply_merges(assignments: np.ndarray, plan: MergePlan) -> np.ndarray:
+    """Rewrite assignments so marked S2 clusters point at their S1 absorber.
+
+    Returns new assignments with the same cluster-id space; marked cluster
+    ids simply become unused.  Primarily used by tests that validate the
+    Lemma 2 guarantee empirically.
+    """
+    batch, n = assignments.shape
+    new_assignments = assignments.copy()
+    for b in range(batch):
+        for j in np.nonzero(plan.marked[b])[0]:
+            source = plan.s1_size + j
+            new_assignments[b][assignments[b] == source] = plan.target[b, j]
+    return new_assignments
+
+
+def build_merge_graph(centers: np.ndarray, radii: np.ndarray, threshold: float):
+    """The paper's graph formulation of mergeability (Sec. 5.1).
+
+    Nodes are clusters of **one** batch element (``centers``: ``(N, d)``,
+    ``radii``: ``(N,)``); an undirected edge connects ``i`` and ``j`` when
+
+        max_{x in cluster_i} |c_i - c_j| + |x - c_i| <= d   and
+        max_{x in cluster_j} |c_j - c_i| + |x - c_j| <= d.
+
+    Finding the maximum number of merges is then a minimum clique cover —
+    NP-hard, which motivates the S1/S2 halving heuristic.  This exact
+    formulation exists for validation: the heuristic must only ever merge
+    along edges of this graph (tested), so it is a safe under-approximation
+    of the optimum.
+    """
+    import networkx as nx
+
+    if centers.ndim != 2:
+        raise ShapeError(f"build_merge_graph expects (N, d) centers, got {centers.shape}")
+    n_clusters = len(centers)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(n_clusters))
+    dist = _center_distances(centers[None], centers[None])[0]
+    for i in range(n_clusters):
+        for j in range(i + 1, n_clusters):
+            if dist[i, j] + radii[i] <= threshold and dist[i, j] + radii[j] <= threshold:
+                graph.add_edge(i, j)
+    return graph
+
+
+def greedy_clique_cover_size(graph) -> int:
+    """Upper bound on the minimum clique cover via complement coloring.
+
+    A clique cover of G is a proper coloring of its complement; greedy
+    coloring gives an upper bound on the optimum (exact on small/simple
+    graphs).  Used by tests to check the S1/S2 heuristic never claims
+    more merges than a clique cover permits.
+    """
+    import networkx as nx
+
+    complement = nx.complement(graph)
+    coloring = nx.greedy_color(complement, strategy="largest_first")
+    return len(set(coloring.values())) if coloring else 0
+
+
+def merged_max_deviation(
+    points: np.ndarray, assignments: np.ndarray, n_clusters: int
+) -> np.ndarray:
+    """Max member-to-centroid distance per batch after (re)assignment.
+
+    Recomputes centroids from scratch for the given assignment and returns
+    ``(B,)`` with the largest member distance, the quantity bounded by ``d``
+    in Lemma 2's conclusion.
+    """
+    batch, n, dim = points.shape
+    sums = np.zeros((batch, n_clusters, dim), dtype=points.dtype)
+    counts = np.zeros((batch, n_clusters), dtype=np.int64)
+    flat_ids = (assignments + np.arange(batch)[:, None] * n_clusters).reshape(-1)
+    np.add.at(sums.reshape(batch * n_clusters, dim), flat_ids, points.reshape(-1, dim))
+    np.add.at(counts.reshape(-1), flat_ids, 1)
+    centers = sums / np.maximum(counts, 1)[:, :, None]
+    member_centers = np.take_along_axis(centers, assignments[:, :, None], axis=1)
+    distances = np.linalg.norm(points - member_centers, axis=-1)
+    return distances.max(axis=1)

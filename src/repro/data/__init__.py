@@ -1,0 +1,42 @@
+"""Data substrate: datasets, loaders, masking, synthetic generators, registry."""
+
+from repro.data.dataset import ArrayDataset, train_val_split
+from repro.data.dataloader import DataLoader
+from repro.data.masking import Scaler, apply_timestamp_mask, mask_tail
+from repro.data.windows import sliding_windows
+from repro.data.synthetic import (
+    GeneratedData,
+    HAR_PROFILES,
+    generate_ecg,
+    generate_eeg,
+    generate_har,
+    univariate,
+)
+from repro.data.registry import (
+    DATASETS,
+    DatasetBundle,
+    DatasetSpec,
+    load_dataset,
+    table1_rows,
+)
+
+__all__ = [
+    "ArrayDataset",
+    "train_val_split",
+    "DataLoader",
+    "Scaler",
+    "apply_timestamp_mask",
+    "mask_tail",
+    "sliding_windows",
+    "GeneratedData",
+    "HAR_PROFILES",
+    "generate_ecg",
+    "generate_eeg",
+    "generate_har",
+    "univariate",
+    "DATASETS",
+    "DatasetBundle",
+    "DatasetSpec",
+    "load_dataset",
+    "table1_rows",
+]

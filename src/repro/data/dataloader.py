@@ -1,0 +1,59 @@
+"""Minibatch iteration."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.errors import ConfigError
+from repro.rng import get_rng
+
+__all__ = ["DataLoader"]
+
+
+class DataLoader:
+    """Iterates an :class:`ArrayDataset` in (optionally shuffled) batches.
+
+    ``batch_size`` is mutable between epochs — the trainer raises it when
+    the batch-size predictor says a larger batch now fits (paper Sec. 5.2).
+    """
+
+    def __init__(
+        self,
+        dataset: ArrayDataset,
+        batch_size: int,
+        shuffle: bool = False,
+        drop_last: bool = False,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.shuffle = shuffle
+        self.drop_last = drop_last
+        self._rng = get_rng(rng)
+
+    def set_batch_size(self, batch_size: int) -> None:
+        """Adjust the batch size for subsequent epochs."""
+        if batch_size < 1:
+            raise ConfigError("batch_size must be >= 1")
+        self.batch_size = int(batch_size)
+
+    def __len__(self) -> int:
+        n_batches, remainder = divmod(len(self.dataset), self.batch_size)
+        if remainder and not self.drop_last:
+            n_batches += 1
+        return n_batches
+
+    def __iter__(self) -> Iterator[dict[str, np.ndarray]]:
+        order = np.arange(len(self.dataset))
+        if self.shuffle:
+            self._rng.shuffle(order)
+        for start in range(0, len(order), self.batch_size):
+            chunk = order[start : start + self.batch_size]
+            if self.drop_last and len(chunk) < self.batch_size:
+                return
+            yield self.dataset[chunk]

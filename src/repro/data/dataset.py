@@ -1,0 +1,77 @@
+"""Dataset containers."""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.rng import get_rng
+
+__all__ = ["ArrayDataset", "train_val_split"]
+
+
+class ArrayDataset:
+    """A dict of aligned arrays, indexed along the first axis.
+
+    Typical keys: ``"x"`` for series ``(n, L, m)`` and ``"y"`` for labels
+    ``(n,)``.  Any number of extra keys is allowed as long as lengths match.
+    """
+
+    def __init__(self, **arrays: np.ndarray) -> None:
+        if not arrays:
+            raise ShapeError("ArrayDataset needs at least one array")
+        lengths = {key: len(value) for key, value in arrays.items()}
+        if len(set(lengths.values())) != 1:
+            raise ShapeError(f"array length mismatch: {lengths}")
+        self.arrays: dict[str, np.ndarray] = {k: np.asarray(v) for k, v in arrays.items()}
+        self._length = next(iter(lengths.values()))
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __getitem__(self, index) -> dict[str, np.ndarray]:
+        return {key: value[index] for key, value in self.arrays.items()}
+
+    @property
+    def keys(self) -> list[str]:
+        return list(self.arrays)
+
+    def subset(self, indices: np.ndarray) -> "ArrayDataset":
+        """New dataset restricted to the given row indices."""
+        return ArrayDataset(**{k: v[indices] for k, v in self.arrays.items()})
+
+    def take(self, n: int) -> "ArrayDataset":
+        """First ``n`` rows."""
+        return self.subset(np.arange(min(n, len(self))))
+
+    def per_class_subset(self, per_class: int, label_key: str = "y",
+                         rng: np.random.Generator | None = None) -> "ArrayDataset":
+        """Sample up to ``per_class`` rows of every class (few-label finetuning).
+
+        The paper's "pretraining + few-label finetuning" scenario uses 100
+        labelled samples per class; this helper builds that subset.
+        """
+        generator = get_rng(rng)
+        labels = self.arrays[label_key]
+        chosen: list[np.ndarray] = []
+        for cls in np.unique(labels):
+            pool = np.nonzero(labels == cls)[0]
+            size = min(per_class, len(pool))
+            chosen.append(generator.choice(pool, size=size, replace=False))
+        indices = np.concatenate(chosen)
+        generator.shuffle(indices)
+        return self.subset(indices)
+
+
+def train_val_split(
+    dataset: ArrayDataset,
+    val_fraction: float = 0.1,
+    rng: np.random.Generator | None = None,
+) -> tuple[ArrayDataset, ArrayDataset]:
+    """Random 90/10-style split; training and validation never overlap."""
+    generator = get_rng(rng)
+    indices = generator.permutation(len(dataset))
+    n_val = max(int(len(dataset) * val_fraction), 1)
+    return dataset.subset(indices[n_val:]), dataset.subset(indices[:n_val])

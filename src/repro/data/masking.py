@@ -1,0 +1,100 @@
+"""Scaling and cloze masking (paper Sec. 3, "Self-supervised Pretraining").
+
+The mask-and-predict task masks *timestamps* with rate ``p``: the series is
+scaled to be non-negative and every channel at a masked timestamp is set to
+an impossible sentinel value (-1).  The model must recover the original
+values at masked positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.rng import get_rng
+
+__all__ = ["Scaler", "apply_timestamp_mask", "mask_tail"]
+
+
+@dataclass
+class Scaler:
+    """Per-channel min-max scaler mapping values into [0, 1].
+
+    Fitting on the training split and applying to both splits keeps the
+    mask sentinel (-1) impossible on genuine data.
+    """
+
+    minimum: np.ndarray
+    maximum: np.ndarray
+
+    @classmethod
+    def fit(cls, series: np.ndarray) -> "Scaler":
+        """Fit on ``(n, L, m)`` training series."""
+        if series.ndim != 3:
+            raise ShapeError(f"Scaler.fit expects (n, L, m), got {series.shape}")
+        minimum = series.min(axis=(0, 1))
+        maximum = series.max(axis=(0, 1))
+        return cls(minimum=minimum, maximum=maximum)
+
+    def transform(self, series: np.ndarray) -> np.ndarray:
+        span = np.maximum(self.maximum - self.minimum, 1e-12)
+        return (series - self.minimum) / span
+
+    def inverse(self, series: np.ndarray) -> np.ndarray:
+        span = np.maximum(self.maximum - self.minimum, 1e-12)
+        return series * span + self.minimum
+
+
+def apply_timestamp_mask(
+    series: np.ndarray,
+    rate: float,
+    rng: np.random.Generator | None = None,
+    mask_value: float = -1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mask whole timestamps with probability ``rate``.
+
+    Parameters
+    ----------
+    series:
+        ``(B, L, m)`` scaled (non-negative) series.
+    rate:
+        Expected fraction of masked timestamps (paper uses 0.2).
+
+    Returns
+    -------
+    ``(masked_series, mask)`` where ``mask`` is boolean ``(B, L, m)``,
+    true at every channel of a masked timestamp.
+    """
+    if series.ndim != 3:
+        raise ShapeError(f"expected (B, L, m) series, got {series.shape}")
+    generator = get_rng(rng)
+    batch, length, channels = series.shape
+    timestamp_mask = generator.random((batch, length)) < rate
+    # Guarantee at least one masked timestamp per sample so losses are defined.
+    empty = ~timestamp_mask.any(axis=1)
+    if empty.any():
+        positions = generator.integers(0, length, size=int(empty.sum()))
+        timestamp_mask[np.nonzero(empty)[0], positions] = True
+    mask = np.repeat(timestamp_mask[:, :, None], channels, axis=2)
+    masked = series.copy()
+    masked[mask] = mask_value
+    return masked, mask
+
+
+def mask_tail(
+    series: np.ndarray,
+    horizon: int,
+    mask_value: float = -1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Mask the last ``horizon`` timestamps (forecasting as imputation, A.7.3)."""
+    if series.ndim != 3:
+        raise ShapeError(f"expected (B, L, m) series, got {series.shape}")
+    if not 0 < horizon < series.shape[1]:
+        raise ShapeError(f"horizon {horizon} out of range for length {series.shape[1]}")
+    mask = np.zeros(series.shape, dtype=bool)
+    mask[:, -horizon:, :] = True
+    masked = series.copy()
+    masked[mask] = mask_value
+    return masked, mask

@@ -1,0 +1,182 @@
+"""Dataset registry: paper-scale specs and scaled loading.
+
+Table 1 of the paper defines the evaluation corpora:
+
+======== ========== =========== ======== ======== ========
+Dataset  Train size Valid size  Length   Channels Classes
+======== ========== =========== ======== ======== ========
+WISDM    28,280     3,112       200      3        18
+HHAR     20,484     2,296       200      3        5
+RWHAR    27,253     3,059       200      3        8
+ECG      31,091     3,551       2,000    12       9
+MGH      8,550      950         10,000   21       N/A
+======== ========== =========== ======== ======== ========
+
+plus the univariate WISDM*/HHAR*/RWHAR* variants (one channel) and the
+pretraining pools of Table 3.  :func:`load_dataset` materializes a
+*scaled* instance: sample counts shrink by ``size_scale`` and lengths by
+``length_scale`` so experiments run on CPU while preserving every ratio
+the benchmarks compare (the ``length`` column keeps its 200 / 2,000 /
+10,000 proportions).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.data.synthetic import GeneratedData, generate_ecg, generate_eeg, generate_har, univariate
+from repro.errors import ConfigError
+from repro.rng import get_rng
+
+__all__ = ["DatasetSpec", "DatasetBundle", "DATASETS", "load_dataset", "table1_rows"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Paper-scale statistics and the generator of a corpus."""
+
+    name: str
+    train_size: int
+    valid_size: int
+    length: int
+    channels: int
+    n_classes: int | None
+    pretrain_size: int | None
+    generator: Callable[..., GeneratedData]
+
+    @property
+    def labeled(self) -> bool:
+        return self.n_classes is not None
+
+
+def _har_generator(profile: str, channel: int | None = None):
+    def generate(n_samples: int, length: int, rng: np.random.Generator) -> GeneratedData:
+        data = generate_har(profile, n_samples, length, rng=rng)
+        if channel is not None:
+            data = univariate(data, channel)
+        return data
+
+    return generate
+
+
+def _ecg_generator(n_samples: int, length: int, rng: np.random.Generator) -> GeneratedData:
+    return generate_ecg(n_samples, length, rng=rng)
+
+
+def _eeg_generator(n_samples: int, length: int, rng: np.random.Generator) -> GeneratedData:
+    return generate_eeg(n_samples, length, rng=rng)
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    "wisdm": DatasetSpec("wisdm", 28280, 3112, 200, 3, 18, 62231, _har_generator("wisdm")),
+    "hhar": DatasetSpec("hhar", 20484, 2296, 200, 3, 5, 68294, _har_generator("hhar")),
+    "rwhar": DatasetSpec("rwhar", 27253, 3059, 200, 3, 8, 63599, _har_generator("rwhar")),
+    "ecg": DatasetSpec("ecg", 31091, 3551, 2000, 12, 9, 561358, _ecg_generator),
+    "mgh": DatasetSpec("mgh", 8550, 950, 10000, 21, None, None, _eeg_generator),
+    # Univariate variants for the GRAIL comparison (Fig. 5).
+    "wisdm_uni": DatasetSpec("wisdm_uni", 28280, 3112, 200, 1, 18, 62231, _har_generator("wisdm", 0)),
+    "hhar_uni": DatasetSpec("hhar_uni", 20484, 2296, 200, 1, 5, 68294, _har_generator("hhar", 0)),
+    "rwhar_uni": DatasetSpec("rwhar_uni", 27253, 3059, 200, 1, 8, 63599, _har_generator("rwhar", 0)),
+}
+
+
+@dataclass
+class DatasetBundle:
+    """A materialized (scaled) dataset: train/val splits plus metadata."""
+
+    spec: DatasetSpec
+    train: ArrayDataset
+    valid: ArrayDataset
+    length: int
+    pretrain: ArrayDataset | None = None
+
+    @property
+    def channels(self) -> int:
+        return self.spec.channels
+
+    @property
+    def n_classes(self) -> int | None:
+        return self.spec.n_classes
+
+
+def _scaled(value: int, scale: float, minimum: int) -> int:
+    return max(int(round(value * scale)), minimum)
+
+
+def load_dataset(
+    name: str,
+    size_scale: float = 0.01,
+    length_scale: float = 1.0,
+    rng: np.random.Generator | None = None,
+    with_pretrain: bool = False,
+    pretrain_scale: float | None = None,
+    min_samples: int = 32,
+    min_length: int = 32,
+) -> DatasetBundle:
+    """Generate a scaled instance of a registered dataset.
+
+    Parameters
+    ----------
+    name:
+        Registry key (see :data:`DATASETS`).
+    size_scale:
+        Fraction of the paper's train/valid sizes to generate.
+    length_scale:
+        Fraction of the paper's series length (rounded, floored at
+        ``min_length``).
+    with_pretrain:
+        Also generate the unlabeled pretraining pool of Table 3 (scaled by
+        ``pretrain_scale``, defaulting to ``size_scale``).
+    """
+    if name not in DATASETS:
+        raise ConfigError(f"unknown dataset {name!r}; expected one of {sorted(DATASETS)}")
+    spec = DATASETS[name]
+    generator = get_rng(rng)
+    length = _scaled(spec.length, length_scale, min_length)
+    n_train = _scaled(spec.train_size, size_scale, min_samples)
+    n_valid = _scaled(spec.valid_size, size_scale, max(min_samples // 4, 8))
+
+    train_data = spec.generator(n_train, length, generator)
+    valid_data = spec.generator(n_valid, length, generator)
+
+    def to_dataset(data: GeneratedData) -> ArrayDataset:
+        if data.y is not None:
+            return ArrayDataset(x=data.x, y=data.y)
+        return ArrayDataset(x=data.x)
+
+    pretrain = None
+    if with_pretrain and spec.pretrain_size is not None:
+        scale = pretrain_scale if pretrain_scale is not None else size_scale
+        n_pre = _scaled(spec.pretrain_size, scale, min_samples)
+        pretrain = to_dataset(spec.generator(n_pre, length, generator))
+
+    return DatasetBundle(
+        spec=spec,
+        train=to_dataset(train_data),
+        valid=to_dataset(valid_data),
+        length=length,
+        pretrain=pretrain,
+    )
+
+
+def table1_rows(size_scale: float = 1.0, length_scale: float = 1.0) -> list[dict]:
+    """Rows of Table 1 at the given scale (paper scale by default)."""
+    rows = []
+    for name in ["wisdm", "hhar", "rwhar", "ecg", "mgh"]:
+        spec = DATASETS[name]
+        rows.append(
+            {
+                "dataset": spec.name.upper(),
+                "train_size": _scaled(spec.train_size, size_scale, 1),
+                "valid_size": _scaled(spec.valid_size, size_scale, 1),
+                "length": _scaled(spec.length, length_scale, 1),
+                "channels": spec.channels,
+                "classes": spec.n_classes if spec.n_classes is not None else "N/A",
+            }
+        )
+    return rows

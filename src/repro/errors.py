@@ -1,0 +1,45 @@
+"""Exception hierarchy for the RITA reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An operation received tensors of incompatible shapes."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A model or experiment configuration is invalid."""
+
+
+class GradError(ReproError, RuntimeError):
+    """Backward pass requested on a tensor that does not support it."""
+
+
+class SimulatedOOMError(ReproError, MemoryError):
+    """The simulated GPU ran out of memory.
+
+    Raised by :mod:`repro.simgpu` when the byte accounting for a forward
+    pass exceeds the configured device capacity.  Reproduces the paper's
+    out-of-memory failures of Vanilla attention and TST on long series
+    (Table 2, Figure 4).
+    """
+
+    def __init__(self, requested: int, capacity: int, note: str = "") -> None:
+        self.requested = int(requested)
+        self.capacity = int(capacity)
+        self.note = note
+        message = (
+            f"simulated GPU out of memory: requested {self.requested:,} bytes, "
+            f"capacity {self.capacity:,} bytes"
+        )
+        if note:
+            message += f" ({note})"
+        super().__init__(message)

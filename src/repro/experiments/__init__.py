@@ -1,0 +1,43 @@
+"""Experiment harness: scales, method factories, per-table runners, rendering."""
+
+from repro.experiments.configs import (
+    BENCH,
+    METHODS,
+    SMOKE,
+    ExperimentScale,
+    build_model,
+    method_display_name,
+)
+from repro.experiments.runner import (
+    paper_scale_oom,
+    run_classification,
+    run_grail_comparison,
+    run_imputation,
+    run_inference_time,
+    run_pretrain_finetune,
+    run_pretrain_size_ablation,
+    run_scheduler_ablation,
+    run_varying_length,
+)
+from repro.experiments.tables import EXPERIMENT_INDEX, ExperimentEntry, format_table
+
+__all__ = [
+    "BENCH",
+    "METHODS",
+    "SMOKE",
+    "ExperimentScale",
+    "build_model",
+    "method_display_name",
+    "paper_scale_oom",
+    "run_classification",
+    "run_grail_comparison",
+    "run_imputation",
+    "run_inference_time",
+    "run_pretrain_finetune",
+    "run_pretrain_size_ablation",
+    "run_scheduler_ablation",
+    "run_varying_length",
+    "EXPERIMENT_INDEX",
+    "ExperimentEntry",
+    "format_table",
+]

@@ -1,0 +1,96 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments fig3 --dataset hhar
+    python -m repro.experiments table2 --dataset mgh
+    python -m repro.experiments fig4
+    python -m repro.experiments fig5
+    python -m repro.experiments table4 --dataset ecg --task classification
+    python -m repro.experiments table5
+
+Runs one paper experiment at the benchmark scale and prints the table in
+the paper's layout.  The full suite (with assertions and persisted
+results) lives in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    BENCH,
+    EXPERIMENT_INDEX,
+    format_table,
+    run_classification,
+    run_grail_comparison,
+    run_imputation,
+    run_inference_time,
+    run_pretrain_finetune,
+    run_pretrain_size_ablation,
+    run_scheduler_ablation,
+    run_varying_length,
+)
+from repro.data.registry import table1_rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate one of the paper's tables/figures at bench scale.",
+    )
+    parser.add_argument("experiment", nargs="?", help="experiment id, e.g. fig3, table2")
+    parser.add_argument("--list", action="store_true", help="list all experiments")
+    parser.add_argument("--dataset", default="hhar", help="dataset registry key")
+    parser.add_argument("--task", default="classification",
+                        choices=["classification", "imputation"])
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    if args.list or args.experiment is None:
+        rows = [
+            {"id": key, "paper": e.experiment_id, "description": e.description,
+             "bench": e.bench_target}
+            for key, e in EXPERIMENT_INDEX.items()
+        ]
+        print(format_table(rows, title="Experiment index"))
+        return 0
+
+    experiment = args.experiment.lower()
+    if experiment == "table1":
+        print(format_table(table1_rows(), title="Table 1 (paper-scale spec)"))
+    elif experiment == "fig3":
+        rows = run_classification(args.dataset, scale=BENCH, seed=args.seed)
+        print(format_table(rows, title=f"Figure 3 ({args.dataset})"))
+    elif experiment == "table2":
+        rows = run_imputation(args.dataset, scale=BENCH, seed=args.seed)
+        print(format_table(rows, title=f"Table 2 ({args.dataset})"))
+    elif experiment == "table3":
+        rows = run_pretrain_finetune(args.dataset, scale=BENCH, seed=args.seed)
+        print(format_table(rows, title=f"Table 3 ({args.dataset})"))
+    elif experiment == "table4":
+        rows = run_scheduler_ablation(args.dataset, args.task, scale=BENCH, seed=args.seed)
+        print(format_table(rows, title=f"Table 4 ({args.dataset}, {args.task})"))
+    elif experiment == "table5":
+        rows = run_pretrain_size_ablation(scale=BENCH, seed=args.seed)
+        print(format_table(rows, title="Table 5 (WISDM)"))
+    elif experiment == "fig4":
+        rows = run_varying_length(scale=BENCH, seed=args.seed)
+        print(format_table(rows, title="Figure 4 (MGH, varying length)"))
+    elif experiment == "fig5":
+        rows = run_grail_comparison(scale=BENCH, seed=args.seed)
+        print(format_table(rows, title="Figure 5 (GRAIL comparison)"))
+    elif experiment in ("table6", "table7"):
+        kind = "classification" if experiment == "table6" else "imputation"
+        rows = run_inference_time(args.dataset, kind, scale=BENCH, seed=args.seed)
+        print(format_table(rows, title=f"{experiment} ({args.dataset}, {kind})"))
+    else:
+        print(f"unknown experiment {experiment!r}; use --list", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

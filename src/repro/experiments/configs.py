@@ -1,0 +1,124 @@
+"""Experiment scales and method factories.
+
+The paper's evaluation trains the reference architecture (8 layers, 2
+heads, 64-dim) for 100 epochs on datasets of 20k-31k series on a V100.
+That is far beyond a CPU NumPy engine, so experiments run at a *scale*:
+a named bundle of size/length/epoch factors.  All methods share a scale,
+so every ratio the paper reports (who wins, how speedups grow with
+length) is preserved.
+
+``METHODS`` lists the five compared systems: TST plus the RITA
+architecture with each attention mechanism (Vanilla / Performer /
+Linformer / Group Attn.) — exactly the lineup of Sec. 6.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.baselines.tst import TSTConfig, TSTModel
+from repro.data.registry import DatasetBundle
+from repro.model.config import RitaConfig
+from repro.model.rita import RitaModel
+
+__all__ = ["ExperimentScale", "SMOKE", "BENCH", "METHODS", "build_model", "method_display_name"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """One named experiment geometry."""
+
+    name: str
+    size_scale: float
+    length_scale: float
+    epochs: int
+    batch_size: int
+    dim: int = 32
+    n_layers: int = 2
+    n_heads: int = 2
+    n_groups: int = 16
+    performer_features: int = 32
+    linformer_proj_dim: int = 16
+    dropout: float = 0.1
+    lr: float = 1e-3
+    finetune_per_class: int = 8
+    pretrain_epochs: int = 3
+    #: Scale for the unlabeled pretraining pool; defaults to ``size_scale``.
+    #: ECG's paper pool is 561k series, so benches cap it separately.
+    pretrain_size_scale: float | None = None
+
+    def with_(self, **overrides) -> "ExperimentScale":
+        return replace(self, **overrides)
+
+
+#: Scale used by unit/integration tests: seconds, not minutes.
+SMOKE = ExperimentScale(
+    name="smoke", size_scale=0.002, length_scale=0.25,
+    epochs=2, batch_size=16, dropout=0.0,
+)
+
+#: Scale used by the benchmark suite: minutes for the full set.
+BENCH = ExperimentScale(
+    name="bench", size_scale=0.006, length_scale=0.25,
+    epochs=4, batch_size=16, dropout=0.0,
+)
+
+#: The five compared methods of the paper's evaluation.
+METHODS = ["tst", "vanilla", "performer", "linformer", "group"]
+
+_DISPLAY = {
+    "tst": "TST",
+    "vanilla": "Vanilla",
+    "performer": "Performer",
+    "linformer": "Linformer",
+    "group": "Group Attn.",
+}
+
+
+def method_display_name(method: str) -> str:
+    """Paper-style method label."""
+    return _DISPLAY.get(method, method)
+
+
+def build_model(
+    method: str,
+    bundle: DatasetBundle,
+    scale: ExperimentScale,
+    rng: np.random.Generator,
+    with_classifier: bool = True,
+    n_groups: int | None = None,
+):
+    """Construct the model for one method at the given scale.
+
+    ``method == "tst"`` builds the TST baseline; anything else builds the
+    RITA architecture with that attention mechanism, matching how the
+    paper swaps mechanisms inside one framework.
+    """
+    n_classes = bundle.n_classes if with_classifier else None
+    if method == "tst":
+        config = TSTConfig(
+            input_channels=bundle.channels,
+            max_len=bundle.length,
+            dim=scale.dim,
+            n_heads=scale.n_heads,
+            n_layers=scale.n_layers,
+            dropout=scale.dropout,
+            n_classes=n_classes,
+        )
+        return TSTModel(config, rng=rng)
+    config = RitaConfig(
+        input_channels=bundle.channels,
+        max_len=bundle.length,
+        dim=scale.dim,
+        n_heads=scale.n_heads,
+        n_layers=scale.n_layers,
+        attention=method,
+        n_groups=n_groups if n_groups is not None else scale.n_groups,
+        performer_features=scale.performer_features,
+        linformer_proj_dim=scale.linformer_proj_dim,
+        dropout=scale.dropout,
+        n_classes=n_classes,
+    )
+    return RitaModel(config, rng=rng)

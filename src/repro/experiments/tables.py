@@ -1,0 +1,131 @@
+"""Plain-text table rendering and the experiment registry.
+
+``EXPERIMENT_INDEX`` maps each paper table/figure to the runner that
+regenerates it and the benchmark file that wraps it — the per-experiment
+index promised in DESIGN.md, queryable at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+__all__ = ["format_table", "format_value", "ExperimentEntry", "EXPERIMENT_INDEX"]
+
+
+def format_value(value, precision: int = 4) -> str:
+    """Human-friendly cell rendering (None -> N/A)."""
+    if value is None:
+        return "N/A"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) < 10 ** -precision or abs(value) >= 10 ** 6):
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], columns: Sequence[str] | None = None,
+                 precision: int = 4, title: str | None = None) -> str:
+    """Render row dicts as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    rendered = [[format_value(row.get(col), precision) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in rendered:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(r)))
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One row of the per-experiment index."""
+
+    experiment_id: str
+    description: str
+    workload: str
+    modules: tuple[str, ...]
+    bench_target: str
+    runner: str
+
+
+EXPERIMENT_INDEX: dict[str, ExperimentEntry] = {
+    "table1": ExperimentEntry(
+        "Table 1", "Dataset statistics",
+        "5 multivariate + 3 univariate corpora, lengths 200/2000/10000",
+        ("repro.data.synthetic", "repro.data.registry"),
+        "benchmarks/test_table1_datasets.py",
+        "repro.data.registry.table1_rows",
+    ),
+    "fig3": ExperimentEntry(
+        "Figure 3", "Full-label classification: accuracy (a) and train time (b)",
+        "WISDM/HHAR/RWHAR/ECG, 5 methods, full labels from scratch",
+        ("repro.model", "repro.attention", "repro.baselines.tst", "repro.train"),
+        "benchmarks/test_fig3_classification.py",
+        "repro.experiments.runner.run_classification",
+    ),
+    "table2": ExperimentEntry(
+        "Table 2", "Imputation MSE + training time; Vanilla/TST OOM on MGH",
+        "mask rate 0.2 on all 5 multivariate datasets",
+        ("repro.tasks.imputation", "repro.simgpu"),
+        "benchmarks/test_table2_imputation.py",
+        "repro.experiments.runner.run_imputation",
+    ),
+    "table3": ExperimentEntry(
+        "Table 3", "Pretrain + few-label finetune vs from-scratch",
+        "cloze pretraining (p=0.2), few labels per class",
+        ("repro.tasks.imputation", "repro.tasks.classification"),
+        "benchmarks/test_table3_pretrain_finetune.py",
+        "repro.experiments.runner.run_pretrain_finetune",
+    ),
+    "table4": ExperimentEntry(
+        "Table 4", "Adaptive scheduler vs fixed N",
+        "ECG classification + MGH imputation; eps {1.5,2,3} vs N grid",
+        ("repro.scheduler.adaptive", "repro.cluster.merge"),
+        "benchmarks/test_table4_scheduler.py",
+        "repro.experiments.runner.run_scheduler_ablation",
+    ),
+    "table5": ExperimentEntry(
+        "Table 5", "Pretraining-set size ablation",
+        "WISDM, 0..100% of the pretraining pool",
+        ("repro.tasks.imputation",),
+        "benchmarks/test_table5_pretrain_size.py",
+        "repro.experiments.runner.run_pretrain_size_ablation",
+    ),
+    "fig4": ExperimentEntry(
+        "Figure 4", "Varying lengths on MGH: MSE (a) and train time (b)",
+        "lengths 2000..10000, imputation; Vanilla OOM >= 8000; 63x headline",
+        ("repro.attention.group", "repro.simgpu"),
+        "benchmarks/test_fig4_varying_length.py",
+        "repro.experiments.runner.run_varying_length",
+    ),
+    "fig5": ExperimentEntry(
+        "Figure 5", "Comparison to non-deep learning (GRAIL)",
+        "univariate WISDM*/HHAR*/RWHAR*; accuracy + train time",
+        ("repro.baselines.grail",),
+        "benchmarks/test_fig5_grail.py",
+        "repro.experiments.runner.run_grail_comparison",
+    ),
+    "table6": ExperimentEntry(
+        "Table 6", "Inference time, classification",
+        "validation-set forward pass per method",
+        ("repro.train.trainer",),
+        "benchmarks/test_table6_7_inference.py",
+        "repro.experiments.runner.run_inference_time",
+    ),
+    "table7": ExperimentEntry(
+        "Table 7", "Inference time, imputation (incl. MGH N/A entries)",
+        "validation-set forward pass per method",
+        ("repro.train.trainer",),
+        "benchmarks/test_table6_7_inference.py",
+        "repro.experiments.runner.run_inference_time",
+    ),
+}

@@ -1,0 +1,14 @@
+"""RITA model: config, time-aware convolution, encoder, task heads."""
+
+from repro.model.config import RitaConfig
+from repro.model.encoder import RitaEncoder, RitaEncoderLayer, build_attention
+from repro.model.rita import RitaModel, TimeAwareConvolution
+
+__all__ = [
+    "RitaConfig",
+    "RitaEncoder",
+    "RitaEncoderLayer",
+    "build_attention",
+    "RitaModel",
+    "TimeAwareConvolution",
+]

@@ -1,0 +1,93 @@
+"""RITA model configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+__all__ = ["RitaConfig"]
+
+_ATTENTION_KINDS = {"vanilla", "group", "performer", "linformer", "local"}
+
+
+@dataclass
+class RitaConfig:
+    """Configuration of a RITA model (paper Sec. 3 + A.1).
+
+    The paper's reference architecture is an 8-layer stack of 2-head
+    attention with 64-dim hidden vectors and convolution kernel size 5;
+    those are the defaults.  The scaled-down experiment registry overrides
+    ``dim``/``n_layers`` to fit CPU budgets without changing any ratio the
+    benchmarks compare.
+
+    Attributes
+    ----------
+    input_channels:
+        Number of timeseries variables ``m``.
+    max_len:
+        Longest (scaled) timeseries the model will see; sizes the position
+        table and Linformer projections.
+    dim, n_heads, n_layers, ffn_dim:
+        Transformer geometry.  ``ffn_dim`` defaults to ``4 * dim``.
+    window_size:
+        Width ``w`` of the time-aware convolution kernels (Sec. 3).
+    conv_stride:
+        Stride of the time-aware convolution.  The paper uses 1 (one
+        window per timestamp); larger strides downsample long series —
+        a scaling substitution documented in DESIGN.md.
+    attention:
+        One of ``vanilla | group | performer | linformer | local``.
+    n_groups:
+        Initial group count ``N`` for group attention.
+    performer_features, linformer_proj_dim, local_window:
+        Baseline-mechanism hyper-parameters.
+    dropout:
+        Dropout rate inside encoder layers.
+    n_classes:
+        Output classes for the classification head (``None`` = no head).
+    mask_value:
+        Sentinel for masked/missing values (paper uses -1 on non-negative
+        scaled series).
+    """
+
+    input_channels: int
+    max_len: int
+    dim: int = 64
+    n_heads: int = 2
+    n_layers: int = 8
+    ffn_dim: int | None = None
+    window_size: int = 5
+    conv_stride: int = 1
+    attention: str = "group"
+    n_groups: int = 64
+    kmeans_iters: int = 2
+    performer_features: int = 64
+    linformer_proj_dim: int = 64
+    local_window: int = 16
+    dropout: float = 0.1
+    n_classes: int | None = None
+    mask_value: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.attention not in _ATTENTION_KINDS:
+            raise ConfigError(
+                f"unknown attention {self.attention!r}; expected one of {sorted(_ATTENTION_KINDS)}"
+            )
+        if self.dim % self.n_heads != 0:
+            raise ConfigError(f"dim {self.dim} not divisible by n_heads {self.n_heads}")
+        if self.ffn_dim is None:
+            self.ffn_dim = 4 * self.dim
+        if self.window_size < 1 or self.conv_stride < 1:
+            raise ConfigError("window_size and conv_stride must be >= 1")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ConfigError("dropout must be in [0, 1)")
+
+    @property
+    def conv_padding(self) -> int:
+        """Symmetric padding keeping ``n = ceil(L / stride)`` windows."""
+        return self.window_size // 2
+
+    def n_windows(self, length: int) -> int:
+        """Number of window embeddings the front end emits for ``length``."""
+        return (length + 2 * self.conv_padding - self.window_size) // self.conv_stride + 1

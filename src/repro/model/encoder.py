@@ -1,0 +1,91 @@
+"""RITA encoder: Transformer encoder with pluggable attention (Sec. 3).
+
+The only difference from the canonical Transformer encoder is the
+attention module — group attention replaces self-attention.  The paper's
+baselines (Vanilla/Performer/Linformer) swap mechanisms inside the same
+architecture, which :func:`build_attention` makes a one-liner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention import (
+    AttentionMechanism,
+    GroupAttention,
+    LinformerAttention,
+    LocalAttention,
+    MultiHeadSelfAttention,
+    PerformerAttention,
+    VanillaAttention,
+)
+from repro.autograd.tensor import Tensor
+from repro.model.config import RitaConfig
+from repro.nn import Dropout, GELU, LayerNorm, Linear, Module, ModuleList, Sequential
+
+__all__ = ["build_attention", "RitaEncoderLayer", "RitaEncoder"]
+
+
+def build_attention(config: RitaConfig, rng: np.random.Generator | None = None) -> AttentionMechanism:
+    """Construct a fresh attention mechanism from the config.
+
+    Each encoder layer gets its own instance so group-attention layers can
+    keep independent ``N`` values, as the adaptive scheduler requires.
+    """
+    if config.attention == "vanilla":
+        return VanillaAttention()
+    if config.attention == "group":
+        return GroupAttention(
+            n_groups=config.n_groups, kmeans_iters=config.kmeans_iters, rng=rng
+        )
+    if config.attention == "performer":
+        return PerformerAttention(n_features=config.performer_features, rng=rng)
+    if config.attention == "linformer":
+        # +1 accounts for the [CLS] token prepended by the model.
+        return LinformerAttention(
+            max_len=config.max_len + 1, proj_dim=config.linformer_proj_dim, rng=rng
+        )
+    return LocalAttention(window=config.local_window)
+
+
+class RitaEncoderLayer(Module):
+    """Post-norm Transformer encoder layer with a pluggable mechanism."""
+
+    def __init__(self, config: RitaConfig, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.attention = MultiHeadSelfAttention(
+            config.dim, config.n_heads, build_attention(config, rng), rng=rng
+        )
+        self.ffn = Sequential(
+            Linear(config.dim, config.ffn_dim, rng=rng),
+            GELU(),
+            Linear(config.ffn_dim, config.dim, rng=rng),
+        )
+        self.norm_attention = LayerNorm(config.dim)
+        self.norm_ffn = LayerNorm(config.dim)
+        self.dropout_attention = Dropout(config.dropout)
+        self.dropout_ffn = Dropout(config.dropout)
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = self.norm_attention(x + self.dropout_attention(self.attention(x)))
+        x = self.norm_ffn(x + self.dropout_ffn(self.ffn(x)))
+        return x
+
+
+class RitaEncoder(Module):
+    """Stack of encoder layers."""
+
+    def __init__(self, config: RitaConfig, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.layers = ModuleList(
+            RitaEncoderLayer(config, rng) for _ in range(config.n_layers)
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def group_attention_layers(self) -> list[GroupAttention]:
+        """Every group-attention mechanism in the stack (scheduler input)."""
+        return [m for m in self.modules() if isinstance(m, GroupAttention)]

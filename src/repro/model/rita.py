@@ -1,0 +1,176 @@
+"""The RITA model (paper Fig. 1).
+
+Pipeline: raw timeseries ``(B, L, m)`` -> time-aware convolution ->
+window embeddings ``(B, n, d)`` -> [CLS] token prepended -> learned
+position embeddings -> RITA encoder -> contextual embeddings.
+
+Heads (paper Sec. A.7):
+* classification — linear softmax over the [CLS] representation;
+* imputation / forecasting — transpose convolution decoding every
+  window representation back to timeseries values;
+* embedding extraction — the [CLS] representation itself, for similarity
+  search and clustering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.attention.group import GroupAttention
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.errors import ConfigError, ShapeError
+from repro.model.config import RitaConfig
+from repro.model.encoder import RitaEncoder
+from repro.nn import Conv1d, ConvTranspose1d, LearnedPositionalEmbedding, Linear, Module, Parameter, init
+from repro.rng import get_rng
+from repro.simgpu.memory import MemoryModel
+
+__all__ = ["TimeAwareConvolution", "RitaModel"]
+
+
+class TimeAwareConvolution(Module):
+    """Front end bridging timeseries and "semantic units" (paper Sec. 3).
+
+    ``d`` convolution kernels of width ``w`` slide over the ``(L, m)``
+    input; each output position is one *window embedding*, capturing local
+    structure across all channels simultaneously (the multi-channel gap
+    between NLP and timeseries).
+    """
+
+    def __init__(self, config: RitaConfig, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.config = config
+        self.conv = Conv1d(
+            config.input_channels,
+            config.dim,
+            kernel_size=config.window_size,
+            stride=config.conv_stride,
+            padding=config.conv_padding,
+            rng=rng,
+        )
+
+    def forward(self, series: Tensor) -> Tensor:
+        """``(B, L, m)`` -> ``(B, n, d)`` window embeddings."""
+        if series.ndim != 3:
+            raise ShapeError(f"expected (B, L, m) series, got {series.shape}")
+        channels_first = series.transpose((0, 2, 1))
+        features = self.conv(channels_first)
+        return features.transpose((0, 2, 1))
+
+
+class RitaModel(Module):
+    """RITA: time-aware convolution + Transformer encoder + task heads."""
+
+    def __init__(self, config: RitaConfig, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        rng = get_rng(rng)
+        self.config = config
+        self.frontend = TimeAwareConvolution(config, rng)
+        self.cls_token = Parameter(init.normal((1, 1, config.dim), std=0.02, rng=rng))
+        self.positions = LearnedPositionalEmbedding(config.max_len + 1, config.dim, rng=rng)
+        self.encoder = RitaEncoder(config, rng)
+        if config.n_classes is not None:
+            self.classifier = Linear(config.dim, config.n_classes, rng=rng)
+        else:
+            self.classifier = None
+        self.decoder = ConvTranspose1d(
+            config.dim,
+            config.input_channels,
+            kernel_size=config.window_size,
+            stride=config.conv_stride,
+            padding=config.conv_padding,
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------
+    # Core encoding
+    # ------------------------------------------------------------------
+    def encode(self, series) -> tuple[Tensor, Tensor]:
+        """Encode raw series; returns ``(cls_embedding, window_embeddings)``.
+
+        ``cls_embedding``: ``(B, d)`` — the series-level representation.
+        ``window_embeddings``: ``(B, n, d)`` — per-window representations.
+        """
+        series = as_tensor(series)
+        windows = self.frontend(series)  # (B, n, d)
+        batch = windows.shape[0]
+        cls = ops.broadcast_to(self.cls_token, (batch, 1, self.config.dim))
+        stacked = ops.concat([cls, windows], axis=1)
+        positioned = self.positions(stacked)
+        hidden = self.encoder(positioned)
+        return hidden[:, 0, :], hidden[:, 1:, :]
+
+    # ------------------------------------------------------------------
+    # Heads (paper A.7)
+    # ------------------------------------------------------------------
+    def classify(self, series) -> Tensor:
+        """Class logits from the [CLS] representation (A.7.1)."""
+        if self.classifier is None:
+            raise ConfigError("model was built without n_classes; no classifier head")
+        cls_embedding, _ = self.encode(series)
+        return self.classifier(cls_embedding)
+
+    def reconstruct(self, series) -> Tensor:
+        """Decode window embeddings back to a ``(B, L, m)`` series (A.7.2).
+
+        Used for imputation (masked positions) and forecasting (masked
+        tail).  The transpose convolution mirrors the front end geometry.
+        """
+        series = as_tensor(series)
+        length = series.shape[1]
+        _, windows = self.encode(series)
+        channels_first = windows.transpose((0, 2, 1))
+        decoded = self.decoder(channels_first).transpose((0, 2, 1))
+        if decoded.shape[1] < length:
+            raise ShapeError(
+                f"decoder produced length {decoded.shape[1]} < input {length}; "
+                "check window_size/stride geometry"
+            )
+        return decoded[:, :length, :]
+
+    def embed(self, series) -> np.ndarray:
+        """Series-level embedding as a NumPy array (A.7.4; no grad)."""
+        from repro.autograd.tensor import no_grad
+
+        with no_grad():
+            cls_embedding, _ = self.encode(series)
+        return cls_embedding.data
+
+    # ------------------------------------------------------------------
+    # Introspection used by scheduler / memory accounting
+    # ------------------------------------------------------------------
+    def group_attention_layers(self) -> list[GroupAttention]:
+        """All group-attention mechanisms (empty for baseline models)."""
+        return [m for m in self.modules() if isinstance(m, GroupAttention)]
+
+    def mean_groups(self) -> float:
+        """Average current ``N`` across group-attention layers."""
+        layers = self.group_attention_layers()
+        if not layers:
+            return 0.0
+        return float(np.mean([layer.n_groups for layer in layers]))
+
+    def memory_model(self) -> MemoryModel:
+        """Analytic memory model matching this architecture."""
+        return MemoryModel(
+            dim=self.config.dim,
+            n_heads=self.config.n_heads,
+            n_layers=self.config.n_layers,
+            ffn_dim=self.config.ffn_dim,
+        )
+
+    def estimate_step_bytes(self, batch_size: int, length: int) -> int:
+        """Estimated simulated-GPU bytes for a training step."""
+        kind = self.config.attention
+        kwargs: dict = {}
+        if kind == "group":
+            kwargs["n_groups"] = int(round(self.mean_groups())) or self.config.n_groups
+        elif kind == "performer":
+            kwargs["feature_dim"] = self.config.performer_features
+        elif kind == "linformer":
+            kwargs["proj_dim"] = self.config.linformer_proj_dim
+        elif kind == "local":
+            kwargs["window"] = self.config.local_window
+        n = self.config.n_windows(length) + 1  # +1 for [CLS]
+        return self.memory_model().step_bytes(kind, batch_size, n, **kwargs)

@@ -1,0 +1,42 @@
+"""Neural-network layer library on the autograd engine."""
+
+from repro.nn.module import Module, ModuleList, Parameter, Sequential
+from repro.nn.linear import Linear
+from repro.nn.conv import Conv1d, ConvTranspose1d
+from repro.nn.norm import BatchNorm1d, LayerNorm
+from repro.nn.dropout import Dropout
+from repro.nn.activations import GELU, ReLU, Sigmoid, Tanh
+from repro.nn.embedding import (
+    Embedding,
+    LearnedPositionalEmbedding,
+    SinusoidalPositionalEncoding,
+    sinusoidal_table,
+)
+from repro.nn.loss import CrossEntropyLoss, L1Loss, MaskedMSELoss, MSELoss
+from repro.nn import init
+
+__all__ = [
+    "Module",
+    "ModuleList",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "Conv1d",
+    "ConvTranspose1d",
+    "BatchNorm1d",
+    "LayerNorm",
+    "Dropout",
+    "GELU",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Embedding",
+    "LearnedPositionalEmbedding",
+    "SinusoidalPositionalEncoding",
+    "sinusoidal_table",
+    "CrossEntropyLoss",
+    "L1Loss",
+    "MaskedMSELoss",
+    "MSELoss",
+    "init",
+]

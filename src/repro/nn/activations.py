@@ -1,0 +1,37 @@
+"""Activation modules."""
+
+from __future__ import annotations
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+
+__all__ = ["ReLU", "GELU", "Tanh", "Sigmoid"]
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu(x)
+
+
+class GELU(Module):
+    """Gaussian error linear unit (exact erf form)."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.gelu(x)
+
+
+class Tanh(Module):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.tanh(x)
+
+
+class Sigmoid(Module):
+    """Logistic sigmoid."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.sigmoid(x)

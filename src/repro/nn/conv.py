@@ -1,0 +1,73 @@
+"""Convolutional layers (1-D, timeseries-oriented)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.conv import conv1d, conv_transpose1d
+from repro.autograd.tensor import Tensor
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+__all__ = ["Conv1d", "ConvTranspose1d"]
+
+
+class Conv1d(Module):
+    """1-D convolution over ``(B, C_in, L)`` inputs."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_uniform((out_channels, in_channels, kernel_size), rng=rng)
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv1d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+
+class ConvTranspose1d(Module):
+    """1-D transpose convolution over ``(B, C_in, L)`` inputs.
+
+    Used as the decoder of RITA's imputation/forecasting head (paper
+    Sec. A.7.2): it maps window embeddings back to timeseries values,
+    inverting the geometry of the time-aware convolution front end.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            init.kaiming_uniform((in_channels, out_channels, kernel_size), rng=rng)
+        )
+        self.bias = Parameter(init.zeros((out_channels,))) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return conv_transpose1d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)

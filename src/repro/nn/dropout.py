@@ -1,0 +1,24 @@
+"""Dropout regularization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.nn.module import Module
+from repro.rng import get_rng
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout: active only in training mode."""
+
+    def __init__(self, p: float = 0.1, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.p = float(p)
+        self._rng = get_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.dropout(x, self.p, self._rng, training=self.training)

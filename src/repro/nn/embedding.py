@@ -1,0 +1,79 @@
+"""Embedding tables and positional encodings.
+
+RITA adds a position embedding to each window embedding before the encoder
+(paper Fig. 1).  We provide both the fixed sinusoidal encoding of the
+original Transformer and a learned position table; RITA uses the learned
+variant by default, matching TST.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor
+from repro.errors import ShapeError
+from repro.nn import init
+from repro.nn.module import Module, Parameter
+
+__all__ = ["Embedding", "SinusoidalPositionalEncoding", "LearnedPositionalEmbedding"]
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(init.normal((num_embeddings, embedding_dim), std=0.02, rng=rng))
+
+    def forward(self, indices) -> Tensor:
+        return ops.embedding(self.weight, indices)
+
+
+def sinusoidal_table(max_len: int, dim: int) -> np.ndarray:
+    """The fixed sin/cos positional table of Vaswani et al."""
+    position = np.arange(max_len)[:, None]
+    div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
+    table = np.zeros((max_len, dim))
+    table[:, 0::2] = np.sin(position * div)
+    table[:, 1::2] = np.cos(position * div[: dim // 2])
+    return table
+
+
+class SinusoidalPositionalEncoding(Module):
+    """Adds the fixed sinusoidal position table to ``(B, n, d)`` inputs."""
+
+    def __init__(self, max_len: int, dim: int) -> None:
+        super().__init__()
+        self.max_len = max_len
+        self.dim = dim
+        self._table = sinusoidal_table(max_len, dim)
+
+    def forward(self, x: Tensor) -> Tensor:
+        n = x.shape[-2]
+        if n > self.max_len:
+            raise ShapeError(f"sequence length {n} exceeds max_len {self.max_len}")
+        return x + self._table[:n]
+
+
+class LearnedPositionalEmbedding(Module):
+    """Adds a learnable position table to ``(B, n, d)`` inputs."""
+
+    def __init__(self, max_len: int, dim: int, rng: np.random.Generator | None = None) -> None:
+        super().__init__()
+        self.max_len = max_len
+        self.dim = dim
+        self.weight = Parameter(init.normal((max_len, dim), std=0.02, rng=rng))
+
+    def forward(self, x: Tensor) -> Tensor:
+        n = x.shape[-2]
+        if n > self.max_len:
+            raise ShapeError(f"sequence length {n} exceeds max_len {self.max_len}")
+        return x + self.weight[:n]

@@ -1,0 +1,45 @@
+"""Weight initialization schemes."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.rng import get_rng
+
+__all__ = ["xavier_uniform", "kaiming_uniform", "normal", "zeros", "uniform"]
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator | None = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot/Xavier uniform init for weights shaped ``(fan_out, fan_in, ...)``."""
+    generator = get_rng(rng)
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive if len(shape) > 1 else shape[0]
+    fan_out = shape[0] * receptive
+    bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
+    return generator.uniform(-bound, bound, size=shape)
+
+
+def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """He/Kaiming uniform init (for ReLU-family activations)."""
+    generator = get_rng(rng)
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive if len(shape) > 1 else shape[0]
+    bound = math.sqrt(6.0 / fan_in)
+    return generator.uniform(-bound, bound, size=shape)
+
+
+def normal(shape: tuple[int, ...], std: float = 0.02, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Gaussian init with the given standard deviation."""
+    return get_rng(rng).normal(0.0, std, size=shape)
+
+
+def uniform(shape: tuple[int, ...], bound: float, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Uniform init on ``[-bound, bound]``."""
+    return get_rng(rng).uniform(-bound, bound, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zeros init (biases)."""
+    return np.zeros(shape)

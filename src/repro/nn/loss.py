@@ -1,0 +1,70 @@
+"""Loss functions used by RITA's tasks.
+
+* Classification uses cross entropy over ``[CLS]`` logits (paper A.7.1).
+* Imputation/forecasting use mean squared error restricted to masked
+  positions (paper A.7.2): ``L = 1/|M| sum_{(i,j) in M} (Y - T_r)^2``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor, as_tensor
+from repro.errors import ShapeError
+from repro.nn.module import Module
+
+__all__ = ["CrossEntropyLoss", "MSELoss", "MaskedMSELoss", "L1Loss"]
+
+
+class CrossEntropyLoss(Module):
+    """Mean cross entropy between logits ``(B, C)`` and int targets ``(B,)``."""
+
+    def forward(self, logits: Tensor, targets) -> Tensor:
+        targets = np.asarray(targets.data if isinstance(targets, Tensor) else targets)
+        targets = targets.astype(np.int64)
+        if logits.ndim != 2:
+            raise ShapeError(f"CrossEntropyLoss expects (B, C) logits, got {logits.shape}")
+        batch = logits.shape[0]
+        if targets.shape != (batch,):
+            raise ShapeError(
+                f"targets shape {targets.shape} incompatible with logits {logits.shape}"
+            )
+        log_probs = ops.log_softmax(logits, axis=-1)
+        picked = log_probs[np.arange(batch), targets]
+        return -picked.mean()
+
+
+class MSELoss(Module):
+    """Mean squared error over all elements."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        target = as_tensor(target).detach()
+        diff = prediction - target
+        return (diff * diff).mean()
+
+
+class MaskedMSELoss(Module):
+    """Mean squared error restricted to positions where ``mask`` is true.
+
+    This is the imputation objective of paper Sec. A.7.2; the mask marks
+    the artificially removed values.
+    """
+
+    def forward(self, prediction: Tensor, target, mask) -> Tensor:
+        target = as_tensor(target).detach()
+        mask_arr = np.asarray(mask.data if isinstance(mask, Tensor) else mask, dtype=bool)
+        count = int(mask_arr.sum())
+        if count == 0:
+            raise ShapeError("MaskedMSELoss received an empty mask")
+        diff = prediction - target
+        masked = diff * mask_arr
+        return (masked * masked).sum() / count
+
+
+class L1Loss(Module):
+    """Mean absolute error over all elements."""
+
+    def forward(self, prediction: Tensor, target) -> Tensor:
+        target = as_tensor(target).detach()
+        return ops.abs_(prediction - target).mean()

@@ -1,0 +1,90 @@
+"""Normalization layers.
+
+RITA uses LayerNorm inside its encoder (like the vanilla Transformer);
+the TST baseline replaces it with BatchNorm — a design decision the paper
+calls out as harmful for long timeseries (Sec. 6.2.1), so both are here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ShapeError
+from repro.nn.module import Module, Parameter
+
+__all__ = ["LayerNorm", "BatchNorm1d"]
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, normalized_size: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.normalized_size = normalized_size
+        self.eps = eps
+        self.weight = Parameter(np.ones(normalized_size))
+        self.bias = Parameter(np.zeros(normalized_size))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.shape[-1] != self.normalized_size:
+            raise ShapeError(
+                f"LayerNorm expected last dim {self.normalized_size}, got {x.shape[-1]}"
+            )
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (variance + self.eps).sqrt()
+        return normalized * self.weight + self.bias
+
+
+class BatchNorm1d(Module):
+    """Batch normalization over the batch (and length) dimensions.
+
+    Accepts ``(B, C)`` or ``(B, C, L)`` inputs and normalizes each channel
+    ``C`` using batch statistics in training mode and running statistics in
+    eval mode.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.1) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.momentum = momentum
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if x.ndim == 2:
+            axes = (0,)
+            view = (1, -1)
+        elif x.ndim == 3:
+            axes = (0, 2)
+            view = (1, -1, 1)
+        else:
+            raise ShapeError(f"BatchNorm1d expects 2-D or 3-D input, got {x.shape}")
+        if x.shape[1] != self.num_features:
+            raise ShapeError(
+                f"BatchNorm1d expected {self.num_features} channels, got {x.shape[1]}"
+            )
+
+        if self.training:
+            batch_mean = x.data.mean(axis=axes)
+            batch_var = x.data.var(axis=axes)
+            self.running_mean = (
+                (1.0 - self.momentum) * self.running_mean + self.momentum * batch_mean
+            )
+            self.running_var = (
+                (1.0 - self.momentum) * self.running_var + self.momentum * batch_var
+            )
+            mu = x.mean(axis=axes, keepdims=True)
+            centered = x - mu
+            variance = (centered * centered).mean(axis=axes, keepdims=True)
+            normalized = centered / (variance + self.eps).sqrt()
+        else:
+            mu = self.running_mean.reshape(view)
+            sigma = np.sqrt(self.running_var + self.eps).reshape(view)
+            normalized = (x - mu) / sigma
+        return normalized * self.weight.reshape(view) + self.bias.reshape(view)

@@ -1,0 +1,17 @@
+"""Optimizers and learning-rate schedules."""
+
+from repro.optim.optimizer import Optimizer
+from repro.optim.sgd import SGD
+from repro.optim.adam import Adam, AdamW
+from repro.optim.lr_scheduler import CosineAnnealingLR, LinearWarmup, LRScheduler, StepLR
+
+__all__ = [
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdamW",
+    "LRScheduler",
+    "StepLR",
+    "CosineAnnealingLR",
+    "LinearWarmup",
+]

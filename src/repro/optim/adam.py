@@ -1,0 +1,86 @@
+"""Adam and AdamW.
+
+The paper optimizes every model with AdamW (decoupled weight decay,
+Loshchilov & Hutter) at lr = 1e-4, weight decay = 1e-4 (Sec. A.1); those
+are the defaults here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+from repro.optim.optimizer import Optimizer
+
+__all__ = ["Adam", "AdamW"]
+
+
+class Adam(Optimizer):
+    """Adam with bias-corrected first/second moments.
+
+    ``weight_decay`` here is the classical L2 penalty added to the gradient
+    (what torch calls ``Adam(weight_decay=...)``); see :class:`AdamW` for
+    the decoupled variant.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters, lr)
+        self.betas = betas
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+
+    def _update(self, param: Parameter, grad: np.ndarray, decoupled: bool) -> None:
+        beta1, beta2 = self.betas
+        if self.weight_decay and not decoupled:
+            grad = grad + self.weight_decay * param.data
+        key = id(param)
+        m = self._m.get(key)
+        v = self._v.get(key)
+        if m is None:
+            m = np.zeros_like(param.data)
+            v = np.zeros_like(param.data)
+        m = beta1 * m + (1.0 - beta1) * grad
+        v = beta2 * v + (1.0 - beta2) * grad * grad
+        self._m[key] = m
+        self._v[key] = v
+        m_hat = m / (1.0 - beta1 ** self._step_count)
+        v_hat = v / (1.0 - beta2 ** self._step_count)
+        update = m_hat / (np.sqrt(v_hat) + self.eps)
+        if self.weight_decay and decoupled:
+            update = update + self.weight_decay * param.data
+        param.data -= self.lr * update
+
+    def step(self) -> None:
+        self._step_count += 1
+        for param, grad in self._grads():
+            self._update(param, grad, decoupled=False)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (paper's optimizer, Sec. A.1)."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-4,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 1e-4,
+    ) -> None:
+        super().__init__(parameters, lr=lr, betas=betas, eps=eps, weight_decay=weight_decay)
+
+    def step(self) -> None:
+        self._step_count += 1
+        for param, grad in self._grads():
+            self._update(param, grad, decoupled=True)

@@ -1,0 +1,51 @@
+"""Optimizer base class."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base class: holds the parameter list and the learning rate.
+
+    Subclasses implement :meth:`step`, reading ``param.grad`` and updating
+    ``param.data`` in place.
+    """
+
+    def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
+        self.parameters: list[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+        self.lr = float(lr)
+        self._step_count = 0
+
+    def zero_grad(self) -> None:
+        """Clear gradients on every managed parameter."""
+        for param in self.parameters:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _grads(self):
+        """Yield ``(param, grad)`` pairs for parameters that received gradients."""
+        for param in self.parameters:
+            if param.grad is not None:
+                yield param, param.grad
+
+    @staticmethod
+    def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+        """Scale gradients so their global L2 norm is at most ``max_norm``."""
+        params = [p for p in parameters if p.grad is not None]
+        total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+        if total > max_norm and total > 0.0:
+            scale = max_norm / total
+            for p in params:
+                p.grad = p.grad * scale
+        return total

@@ -1,0 +1,32 @@
+"""Process-global random number management.
+
+Every stochastic component (weight init, dropout, data generation,
+k-means seeding, Performer feature draws) accepts an explicit
+``np.random.Generator``; when omitted, it falls back to the global
+generator managed here so a single :func:`seed_all` call makes an entire
+experiment reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["seed_all", "get_rng", "spawn_rng"]
+
+_GLOBAL_RNG: np.random.Generator = np.random.default_rng(0)
+
+
+def seed_all(seed: int) -> None:
+    """Re-seed the global generator used as the default everywhere."""
+    global _GLOBAL_RNG
+    _GLOBAL_RNG = np.random.default_rng(seed)
+
+
+def get_rng(rng: np.random.Generator | None = None) -> np.random.Generator:
+    """Return ``rng`` if given, else the process-global generator."""
+    return rng if rng is not None else _GLOBAL_RNG
+
+
+def spawn_rng() -> np.random.Generator:
+    """Derive an independent child generator from the global one."""
+    return np.random.default_rng(_GLOBAL_RNG.integers(0, 2**63 - 1))

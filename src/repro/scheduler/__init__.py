@@ -1,0 +1,31 @@
+"""Adaptive scheduler (number of groups N) and batch-size predictor."""
+
+from repro.scheduler.adaptive import (
+    AdaptiveScheduler,
+    AdaptiveSchedulerConfig,
+    error_bound_to_distance,
+)
+from repro.scheduler.batchsize import (
+    BatchSizePredictor,
+    FittedFunction,
+    PlaneDivision,
+    PlaneRegion,
+    binary_search_batch_size,
+    divide_plane,
+    fit_best_function,
+    sample_plane,
+)
+
+__all__ = [
+    "AdaptiveScheduler",
+    "AdaptiveSchedulerConfig",
+    "error_bound_to_distance",
+    "BatchSizePredictor",
+    "FittedFunction",
+    "PlaneDivision",
+    "PlaneRegion",
+    "binary_search_batch_size",
+    "divide_plane",
+    "fit_best_function",
+    "sample_plane",
+]

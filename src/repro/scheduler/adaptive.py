@@ -1,0 +1,154 @@
+"""Adaptive scheduler for the number of groups ``N`` (paper Sec. 5.1).
+
+Manually choosing ``N`` per layer per training stage is infeasible; the
+scheduler instead takes a user error bound ``eps`` and, after each training
+step:
+
+1. translates ``eps`` into a distance threshold via Lemma 1:
+   ``d = ln(eps) / (2 R)`` with ``R`` the max key norm observed by the layer;
+2. counts clusters mergeable under Lemma 2 using the S1/S2 halving
+   heuristic (``repro.cluster.merge``);
+3. applies the momentum update ``N_new = alpha (N - D) + (1 - alpha) N``
+   so ``N`` decreases smoothly as embeddings stabilize.
+
+``N`` never increases — the paper argues embeddings converge over training,
+so the group structure only consolidates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.attention.group import GroupAttention
+from repro.cluster.merge import count_mergeable
+from repro.errors import ConfigError
+
+__all__ = ["AdaptiveSchedulerConfig", "AdaptiveScheduler", "error_bound_to_distance"]
+
+
+def error_bound_to_distance(
+    epsilon: float, key_radius: float, head_dim: int | None = None
+) -> float:
+    """Lemma 1 translation: ``d = ln(eps) / (2 R)``.
+
+    Any clustering whose member-to-representative distances stay below the
+    returned ``d`` guarantees every restored attention weight is within a
+    multiplicative ``[1/eps, eps]`` band of the true weight.
+
+    ``head_dim``: the paper states Lemma 1 for *unscaled* dot products,
+    but the attention actually computed (Eq. 1) divides scores by
+    ``sqrt(d_k)``; the perturbation ``q . (k~ - k)`` is scaled down by the
+    same factor, so the equivalent threshold gains ``sqrt(d_k)``.  Passing
+    the head dimension applies that correction (the adaptive scheduler
+    does); omitting it reproduces the paper's stated, more conservative
+    form.
+    """
+    if epsilon <= 1.0:
+        raise ConfigError(f"error bound eps must be > 1, got {epsilon}")
+    if key_radius <= 0.0:
+        return math.inf
+    distance = math.log(epsilon) / (2.0 * key_radius)
+    if head_dim is not None:
+        distance *= math.sqrt(head_dim)
+    return distance
+
+
+@dataclass
+class AdaptiveSchedulerConfig:
+    """Hyper-parameters of the adaptive scheduler.
+
+    Attributes
+    ----------
+    epsilon:
+        User error bound (paper default 2; Table 4 sweeps {1.5, 2, 3}).
+    momentum:
+        ``alpha`` of the momentum update on ``N``.
+    min_groups:
+        Floor for ``N`` (group attention degenerates below a few groups).
+    aggregate:
+        How to pool the per-(batch x head) mergeable counts into one ``D``:
+        ``"min"`` (conservative, default), ``"mean"`` or ``"max"``.
+    update_every:
+        Apply the update every this many scheduler steps.
+    """
+
+    epsilon: float = 2.0
+    momentum: float = 0.5
+    min_groups: int = 2
+    aggregate: str = "min"
+    update_every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.epsilon <= 1.0:
+            raise ConfigError("epsilon must be > 1")
+        if not 0.0 < self.momentum <= 1.0:
+            raise ConfigError("momentum must be in (0, 1]")
+        if self.aggregate not in {"min", "mean", "max"}:
+            raise ConfigError(f"unknown aggregate {self.aggregate!r}")
+
+
+class AdaptiveScheduler:
+    """Adapts ``n_groups`` of every group-attention layer during training."""
+
+    def __init__(
+        self,
+        layers: list[GroupAttention],
+        config: AdaptiveSchedulerConfig | None = None,
+    ) -> None:
+        self.layers = [layer for layer in layers if isinstance(layer, GroupAttention)]
+        if not self.layers:
+            raise ConfigError("AdaptiveScheduler needs at least one GroupAttention layer")
+        self.config = config or AdaptiveSchedulerConfig()
+        self._steps = 0
+        #: Per-layer history of N values, appended at every update.
+        self.history: list[list[int]] = [[layer.n_groups] for layer in self.layers]
+
+    @classmethod
+    def for_model(cls, model, config: AdaptiveSchedulerConfig | None = None) -> "AdaptiveScheduler":
+        """Collect every :class:`GroupAttention` inside ``model``."""
+        layers = [m for m in model.modules() if isinstance(m, GroupAttention)]
+        return cls(layers, config)
+
+    def _pool(self, counts: np.ndarray) -> float:
+        if self.config.aggregate == "min":
+            return float(counts.min())
+        if self.config.aggregate == "max":
+            return float(counts.max())
+        return float(counts.mean())
+
+    def step(self) -> None:
+        """Update ``n_groups`` on every layer from its latest grouping stats."""
+        self._steps += 1
+        if self._steps % self.config.update_every != 0:
+            return
+        alpha = self.config.momentum
+        for index, layer in enumerate(self.layers):
+            stats = layer.last_stats
+            if stats is None:
+                continue
+            head_dim = stats.centers.shape[-1]
+            threshold = error_bound_to_distance(
+                self.config.epsilon, stats.key_radius, head_dim=head_dim
+            )
+            mergeable = count_mergeable(
+                stats.centers, stats.radii, stats.counts, threshold
+            )
+            decrease = self._pool(mergeable)
+            current = layer.n_groups
+            updated = alpha * (current - decrease) + (1.0 - alpha) * current
+            new_n = max(self.config.min_groups, int(round(updated)))
+            new_n = min(new_n, current)  # N never increases
+            layer.n_groups = new_n
+            self.history[index].append(new_n)
+
+    @property
+    def current_groups(self) -> list[int]:
+        """Current ``N`` of every managed layer."""
+        return [layer.n_groups for layer in self.layers]
+
+    def mean_groups(self) -> float:
+        """Average ``N`` across layers (the batch-size predictor's input)."""
+        return float(np.mean(self.current_groups))

@@ -1,0 +1,399 @@
+"""Dynamic batch-size prediction (paper Sec. 5.2, Algorithms 2 and 3).
+
+As the adaptive scheduler shrinks the number of groups ``N``, each sample
+needs less memory, so larger batches fit — and the paper measures that
+doubling the batch size cuts epoch time by ~30%.  Because the computation
+graph varies per sample, the exact memory use cannot be known without
+running a step, so RITA:
+
+1. samples points ``(L_i, N_i)`` from the plane ``{1 <= N <= L <= L_max}``;
+2. finds for each the largest batch ``B_i`` using at most 90% of GPU
+   memory by *binary search with probe steps* (Alg. 2) — here probes ask
+   the :class:`~repro.simgpu.MemoryModel` instead of running CUDA kernels;
+3. divides the plane into sub-planes with a dynamic program (Alg. 3) and
+   fits one function ``B = f(L, N)`` per sub-plane with
+   ``scipy.optimize.curve_fit``, choosing the best of a small prior family.
+
+The DP is optimal for the family of divisions the paper considers —
+vertical cuts on ``L``, then horizontal cuts on ``N`` inside each strip —
+over a discretized set of cut positions.  Cells with too few samples get
+infinite cost (Alg. 3 line 2), preventing biased fits.
+
+At training time :meth:`BatchSizePredictor.predict` returns the batch size
+for the current ``(L, N)`` instantly.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+from scipy import optimize
+
+from repro.errors import ConfigError
+from repro.rng import get_rng
+
+__all__ = [
+    "binary_search_batch_size",
+    "sample_plane",
+    "FittedFunction",
+    "fit_best_function",
+    "PlaneRegion",
+    "PlaneDivision",
+    "divide_plane",
+    "BatchSizePredictor",
+]
+
+
+def binary_search_batch_size(
+    memory_fn: Callable[[int], int],
+    capacity: int,
+    utilization: float = 0.9,
+    max_batch: int = 4096,
+) -> int:
+    """Algorithm 2: largest batch with ``memory_fn(B) <= utilization * capacity``.
+
+    ``memory_fn`` plays the role of the probe training step (forward +
+    backward + peak-memory read); it must be monotone in ``B``.  Returns 0
+    when even a single sample does not fit (the caller decides whether
+    that is an OOM condition).
+    """
+    if capacity <= 0:
+        raise ConfigError("capacity must be positive")
+    budget = utilization * capacity
+    low, high = 1, max_batch
+    best = 0
+    while low <= high:
+        mid = (low + high) // 2
+        if memory_fn(mid) <= budget:
+            best = mid
+            low = mid + 1
+        else:
+            high = mid - 1
+    return best
+
+
+def sample_plane(
+    l_max: int,
+    n_points: int,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Sample integer points ``(L_i, N_i)`` from ``{1 <= N <= L <= L_max}``.
+
+    Lengths are drawn log-uniformly so short and long regimes are both
+    covered; returns an ``(n_points, 2)`` int array.
+    """
+    generator = get_rng(rng)
+    log_l = generator.uniform(0.0, math.log(max(l_max, 2)), size=n_points)
+    lengths = np.maximum(np.exp(log_l).astype(np.int64), 1)
+    groups = np.array([generator.integers(1, l + 1) for l in lengths], dtype=np.int64)
+    return np.stack([lengths, groups], axis=1)
+
+
+# ----------------------------------------------------------------------
+# Function fitting
+# ----------------------------------------------------------------------
+def _reciprocal_bilinear(x, a, b, c, d):
+    length, groups = x
+    return 1.0 / np.maximum(a * length * groups + b * length + c * groups + d, 1e-12)
+
+
+def _reciprocal_linear(x, a, b):
+    length, _ = x
+    return 1.0 / np.maximum(a * length + b, 1e-12)
+
+
+def _power_law(x, a, b, c):
+    length, groups = x
+    return a * np.power(length, b) * np.power(groups, c)
+
+
+_FAMILIES: list[tuple[str, Callable, list[float]]] = [
+    ("reciprocal_bilinear", _reciprocal_bilinear, [1e-6, 1e-4, 1e-4, 1e-2]),
+    ("reciprocal_linear", _reciprocal_linear, [1e-4, 1e-2]),
+    ("power_law", _power_law, [100.0, -0.5, -0.5]),
+]
+
+
+def _constant_fn(x, c):
+    return np.full_like(np.asarray(x[0], dtype=float), c, dtype=float)
+
+
+@dataclass
+class FittedFunction:
+    """One fitted ``B = f(L, N)`` candidate with its training error."""
+
+    family: str
+    fn: Callable
+    params: np.ndarray
+    sse: float
+
+    def __call__(self, length: float, groups: float) -> float:
+        value = self.fn(
+            (np.asarray(length, dtype=float), np.asarray(groups, dtype=float)),
+            *self.params,
+        )
+        return float(value)
+
+
+def fit_best_function(
+    lengths: np.ndarray, groups: np.ndarray, batches: np.ndarray
+) -> FittedFunction:
+    """Fit every prior family with ``curve_fit`` and keep the lowest SSE.
+
+    This is the "small set of mathematical functions as a prior" of
+    Sec. 5.2.  Falls back to a constant predictor when every fit fails
+    (degenerate sub-planes).
+    """
+    x = (lengths.astype(float), groups.astype(float))
+    y = batches.astype(float)
+    best: FittedFunction | None = None
+    for name, fn, p0 in _FAMILIES:
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                params, _ = optimize.curve_fit(fn, x, y, p0=p0, maxfev=2000)
+            residual = fn(x, *params) - y
+            sse = float((residual ** 2).sum())
+        except (RuntimeError, TypeError, ValueError):
+            continue
+        if math.isfinite(sse) and (best is None or sse < best.sse):
+            best = FittedFunction(name, fn, np.asarray(params), sse)
+    if best is None:
+        constant = float(np.median(y)) if len(y) else 1.0
+        sse = float(((y - constant) ** 2).sum())
+        best = FittedFunction("constant", _constant_fn, np.array([constant]), sse)
+    return best
+
+
+# ----------------------------------------------------------------------
+# Plane division (Algorithm 3)
+# ----------------------------------------------------------------------
+@dataclass
+class PlaneRegion:
+    """A rectangle ``[l_lo, l_hi] x [n_lo, n_hi]`` with its fitted function."""
+
+    l_lo: float
+    l_hi: float
+    n_lo: float
+    n_hi: float
+    fit: FittedFunction
+
+    def contains(self, length: float, groups: float) -> bool:
+        return self.l_lo <= length <= self.l_hi and self.n_lo <= groups <= self.n_hi
+
+
+@dataclass
+class PlaneDivision:
+    """Outcome of Algorithm 3: disjoint regions covering the sampled plane."""
+
+    regions: list[PlaneRegion]
+    total_error: float
+
+    def lookup(self, length: float, groups: float) -> FittedFunction:
+        """Region fit at a point; nearest region when outside all rectangles."""
+        for region in self.regions:
+            if region.contains(length, groups):
+                return region.fit
+
+        def rect_distance(region: PlaneRegion) -> float:
+            dl = max(region.l_lo - length, 0.0, length - region.l_hi)
+            dn = max(region.n_lo - groups, 0.0, groups - region.n_hi)
+            return dl * dl + dn * dn
+
+        return min(self.regions, key=rect_distance).fit
+
+
+def _quantile_edges(values: np.ndarray, n_bins: int) -> np.ndarray:
+    """Distinct bin edges from value quantiles (always includes extremes)."""
+    quantiles = np.linspace(0.0, 1.0, n_bins + 1)
+    edges = np.unique(np.quantile(values, quantiles))
+    return edges
+
+
+def divide_plane(
+    points: np.ndarray,
+    batches: np.ndarray,
+    min_points: int = 5,
+    n_length_bins: int = 5,
+    n_group_bins: int = 5,
+) -> PlaneDivision:
+    """Dynamic-programming plane division (Algorithm 3).
+
+    ``points`` is ``(m, 2)`` with columns ``(L, N)``; ``batches`` the
+    measured best batch sizes.  Cut positions are discretized to quantile
+    bin edges of the sampled coordinates (``n_length_bins`` x
+    ``n_group_bins``); the DP then finds the division with minimal total
+    fitting error among all (vertical-then-horizontal) groupings of those
+    bins — the same structure as the paper's Alg. 3, which enumerates
+    integer cut positions.
+    """
+    lengths = points[:, 0].astype(float)
+    groups = points[:, 1].astype(float)
+    l_edges = _quantile_edges(lengths, n_length_bins)
+    n_edges = _quantile_edges(groups, n_group_bins)
+    n_l = len(l_edges) - 1  # number of length bins
+    n_n = len(n_edges) - 1
+    if n_l < 1 or n_n < 1:
+        fit = fit_best_function(lengths, groups, batches)
+        region = PlaneRegion(
+            float(lengths.min()), float(lengths.max()),
+            float(groups.min()), float(groups.max()), fit,
+        )
+        return PlaneDivision([region], fit.sse)
+
+    def in_range(values: np.ndarray, edges: np.ndarray, lo: int, hi: int) -> np.ndarray:
+        """Mask of values inside bins [lo, hi] (bin i spans edges[i]..edges[i+1]).
+
+        The first bin is closed below; later bins are half-open so each
+        value belongs to exactly one bin.
+        """
+        upper_ok = values <= edges[hi + 1]
+        if lo == 0:
+            return upper_ok
+        return upper_ok & (values > edges[lo])
+
+    fit_cache: dict[tuple[int, int, int, int], tuple[float, FittedFunction | None]] = {}
+
+    def region_cost(l_lo: int, l_hi: int, g_lo: int, g_hi: int):
+        key = (l_lo, l_hi, g_lo, g_hi)
+        if key in fit_cache:
+            return fit_cache[key]
+        mask = in_range(lengths, l_edges, l_lo, l_hi) & in_range(groups, n_edges, g_lo, g_hi)
+        if int(mask.sum()) < min_points:
+            fit_cache[key] = (math.inf, None)
+        else:
+            fit = fit_best_function(lengths[mask], groups[mask], batches[mask])
+            fit_cache[key] = (fit.sse, fit)
+        return fit_cache[key]
+
+    def strip_division(l_lo: int, l_hi: int) -> tuple[float, list[PlaneRegion]]:
+        """Inner DP: optimal horizontal partition of one vertical strip."""
+        dp = [math.inf] * (n_n + 1)
+        back: list[tuple[int, FittedFunction] | None] = [None] * (n_n + 1)
+        dp[0] = 0.0
+        for j in range(1, n_n + 1):
+            for i in range(j):
+                cost, fit = region_cost(l_lo, l_hi, i, j - 1)
+                if fit is None or not math.isfinite(dp[i]):
+                    continue
+                if dp[i] + cost < dp[j]:
+                    dp[j] = dp[i] + cost
+                    back[j] = (i, fit)
+        if not math.isfinite(dp[n_n]):
+            return math.inf, []
+        regions: list[PlaneRegion] = []
+        j = n_n
+        while j > 0:
+            i, fit = back[j]  # type: ignore[misc]
+            regions.append(
+                PlaneRegion(
+                    float(l_edges[l_lo]), float(l_edges[l_hi + 1]),
+                    float(n_edges[i]), float(n_edges[j]), fit,
+                )
+            )
+            j = i
+        regions.reverse()
+        return dp[n_n], regions
+
+    # Outer DP: vertical cuts on L.
+    dp = [math.inf] * (n_l + 1)
+    back: list[tuple[int, list[PlaneRegion]] | None] = [None] * (n_l + 1)
+    dp[0] = 0.0
+    for j in range(1, n_l + 1):
+        for i in range(j):
+            if not math.isfinite(dp[i]):
+                continue
+            cost, regions = strip_division(i, j - 1)
+            if not regions:
+                continue
+            if dp[i] + cost < dp[j]:
+                dp[j] = dp[i] + cost
+                back[j] = (i, regions)
+
+    if not math.isfinite(dp[n_l]) or back[n_l] is None:
+        fit = fit_best_function(lengths, groups, batches)
+        region = PlaneRegion(
+            float(lengths.min()), float(lengths.max()),
+            float(groups.min()), float(groups.max()), fit,
+        )
+        return PlaneDivision([region], fit.sse)
+
+    all_regions: list[PlaneRegion] = []
+    j = n_l
+    while j > 0:
+        i, strip_regions = back[j]  # type: ignore[misc]
+        all_regions = strip_regions + all_regions
+        j = i
+    return PlaneDivision(all_regions, dp[n_l])
+
+
+# ----------------------------------------------------------------------
+# Predictor facade
+# ----------------------------------------------------------------------
+class BatchSizePredictor:
+    """Offline-learned ``B = f(L, N)`` predictor (the paper's Sec. 5.2 tool).
+
+    Parameters
+    ----------
+    memory_step_fn:
+        Callable ``(batch, length, n_groups) -> bytes`` modelling a probe
+        training step; usually ``MemoryModel.step_bytes`` partially applied
+        to the attention kind.
+    capacity:
+        Simulated device capacity in bytes.
+    """
+
+    def __init__(
+        self,
+        memory_step_fn: Callable[[int, int, int], int],
+        capacity: int,
+        utilization: float = 0.9,
+        max_batch: int = 4096,
+    ) -> None:
+        self._memory_step_fn = memory_step_fn
+        self.capacity = int(capacity)
+        self.utilization = float(utilization)
+        self.max_batch = int(max_batch)
+        self.division: PlaneDivision | None = None
+        self.samples: np.ndarray | None = None
+
+    def measure(self, length: int, n_groups: int) -> int:
+        """Ground-truth best batch at one plane point (Alg. 2)."""
+        return binary_search_batch_size(
+            lambda b: self._memory_step_fn(b, length, n_groups),
+            self.capacity,
+            utilization=self.utilization,
+            max_batch=self.max_batch,
+        )
+
+    def fit(
+        self,
+        l_max: int,
+        n_points: int = 64,
+        rng: np.random.Generator | None = None,
+        min_points: int = 5,
+    ) -> "BatchSizePredictor":
+        """Sample the plane, measure batches, divide and fit (Alg. 3)."""
+        points = sample_plane(l_max, n_points, rng=rng)
+        batches = np.array([self.measure(int(l), int(n)) for l, n in points], dtype=float)
+        keep = batches >= 1
+        points, batches = points[keep], batches[keep]
+        if len(points) < min_points:
+            raise ConfigError(
+                "not enough feasible plane samples to fit the batch predictor; "
+                "increase capacity or n_points"
+            )
+        self.samples = np.column_stack([points, batches])
+        self.division = divide_plane(points, batches, min_points=min_points)
+        return self
+
+    def predict(self, length: int, n_groups: float) -> int:
+        """Predicted batch size for the current ``(L, N)`` (always >= 1)."""
+        if self.division is None:
+            raise ConfigError("BatchSizePredictor.predict called before fit()")
+        fit = self.division.lookup(float(length), float(n_groups))
+        return max(int(fit(float(length), float(n_groups))), 1)

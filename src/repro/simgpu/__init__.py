@@ -1,0 +1,21 @@
+"""Simulated GPU memory substrate (capacity enforcement + byte accounting)."""
+
+from repro.simgpu.memory import (
+    BYTES_PER_ELEMENT,
+    DEFAULT_CAPACITY,
+    MemoryModel,
+    SimulatedGPU,
+    current_device,
+    use_device,
+)
+from repro.errors import SimulatedOOMError
+
+__all__ = [
+    "BYTES_PER_ELEMENT",
+    "DEFAULT_CAPACITY",
+    "MemoryModel",
+    "SimulatedGPU",
+    "current_device",
+    "use_device",
+    "SimulatedOOMError",
+]

@@ -1,0 +1,157 @@
+"""Simulated GPU memory accounting.
+
+The paper's artifact runs on an NVIDIA V100 with 16 GB of memory; two of
+its results depend on that budget:
+
+* Vanilla attention and TST *fail with OOM* on the MGH dataset
+  (length 10,000) — Table 2 and Figure 4;
+* the batch-size predictor (Sec. 5.2 / Alg. 2) binary-searches the largest
+  batch that stays under 90% of device memory.
+
+This environment has no GPU, so we model the device analytically: a
+:class:`MemoryModel` counts the bytes a training step would allocate on
+the real device (activations for forward + retained tensors for backward),
+and :class:`SimulatedGPU` enforces a capacity, raising
+:class:`~repro.errors.SimulatedOOMError` exactly where the real run dies.
+
+The accounting assumes fp32 (4 bytes/element) like the paper's training,
+regardless of the NumPy dtype used for the actual computation here.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+
+from repro.errors import SimulatedOOMError
+
+__all__ = [
+    "BYTES_PER_ELEMENT",
+    "MemoryModel",
+    "SimulatedGPU",
+    "current_device",
+    "use_device",
+]
+
+BYTES_PER_ELEMENT = 4
+#: The paper's device: an NVIDIA Tesla V100 with 16 GB.  Memory accounting
+#: is always done at *paper geometry* (full sequence lengths, full model),
+#: even when the actual NumPy computation runs at a scaled-down geometry —
+#: that is what reproduces the OOM entries of Table 2 / Figure 4 honestly.
+DEFAULT_CAPACITY = 16 * 1024 ** 3
+
+
+@dataclass
+class MemoryModel:
+    """Analytic per-step memory model of a RITA-style encoder.
+
+    Parameters mirror the model configuration; all methods return bytes.
+    ``backward_factor`` approximates the autograd graph retaining roughly
+    one extra copy of each activation for the backward pass.
+    """
+
+    dim: int
+    n_heads: int
+    n_layers: int
+    ffn_dim: int
+    bytes_per_element: int = BYTES_PER_ELEMENT
+    backward_factor: float = 2.0
+
+    # -- attention-specific activation counts (per sample, per layer) -----
+    def attention_elements(self, kind: str, n: int, n_groups: int | None = None,
+                           feature_dim: int | None = None, proj_dim: int | None = None,
+                           window: int | None = None) -> int:
+        """Activation element count of one attention module on one sample."""
+        heads = self.n_heads
+        head_dim = self.dim // heads
+        if kind == "vanilla":
+            return 2 * heads * n * n
+        if kind == "group":
+            groups = n_groups if n_groups is not None else n
+            groups = min(groups, n)
+            return 2 * heads * n * groups + 2 * heads * groups * head_dim
+        if kind == "performer":
+            m = feature_dim if feature_dim is not None else head_dim
+            return 2 * heads * n * m + heads * m * (head_dim + 1)
+        if kind == "linformer":
+            k = proj_dim if proj_dim is not None else max(n // 4, 1)
+            return 2 * heads * n * k + 2 * heads * k * head_dim
+        if kind == "local":
+            w = window if window is not None else 16
+            return 2 * heads * n * min(2 * w + 1, n)
+        raise ValueError(f"unknown attention kind: {kind!r}")
+
+    def layer_elements(self, kind: str, n: int, **kwargs) -> int:
+        """Activation elements of one encoder layer on one sample."""
+        # QKV + attention output + output projection + 2 norms + residuals.
+        dense = 7 * n * self.dim
+        ffn = 2 * n * self.ffn_dim + n * self.dim
+        return dense + ffn + self.attention_elements(kind, n, **kwargs)
+
+    def step_bytes(self, kind: str, batch_size: int, n: int, **kwargs) -> int:
+        """Estimated bytes for one training step (forward + backward)."""
+        per_sample = self.n_layers * self.layer_elements(kind, n, **kwargs)
+        io = 3 * n * self.dim  # input embeddings + position + output head
+        total_elements = batch_size * (per_sample + io)
+        return int(total_elements * self.bytes_per_element * self.backward_factor)
+
+    def max_batch_size(self, kind: str, n: int, capacity: int,
+                       utilization: float = 0.9, **kwargs) -> int:
+        """Largest batch fitting in ``utilization * capacity`` (closed form).
+
+        The batch-size predictor (Alg. 2) *searches* for this value without
+        assuming the memory function is linear in the batch size; this
+        closed form is the ground truth it should find.
+        """
+        per_one = self.step_bytes(kind, 1, n, **kwargs)
+        if per_one <= 0:
+            return 1
+        return max(int(utilization * capacity // per_one), 0)
+
+
+class SimulatedGPU:
+    """A context manager enforcing a memory capacity on training steps.
+
+    Usage::
+
+        with SimulatedGPU(capacity=16 * 2**30) as gpu:
+            trainer.train(...)  # raises SimulatedOOMError when exceeded
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = int(capacity)
+        self.peak_bytes = 0
+        self._token = None
+
+    def check(self, requested: int, note: str = "") -> None:
+        """Record a request; raise :class:`SimulatedOOMError` when over capacity."""
+        requested = int(requested)
+        self.peak_bytes = max(self.peak_bytes, requested)
+        if requested > self.capacity:
+            raise SimulatedOOMError(requested, self.capacity, note)
+
+    def utilization(self, requested: int) -> float:
+        """Fraction of capacity a request would use."""
+        return requested / self.capacity
+
+    def __enter__(self) -> "SimulatedGPU":
+        _DEVICE_STACK.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _DEVICE_STACK.pop()
+
+
+_DEVICE_STACK: list[SimulatedGPU] = []
+
+
+def current_device() -> SimulatedGPU | None:
+    """The innermost active :class:`SimulatedGPU`, or ``None``."""
+    return _DEVICE_STACK[-1] if _DEVICE_STACK else None
+
+
+@contextlib.contextmanager
+def use_device(capacity: int = DEFAULT_CAPACITY):
+    """Convenience wrapper: ``with use_device(cap) as gpu: ...``."""
+    with SimulatedGPU(capacity) as gpu:
+        yield gpu

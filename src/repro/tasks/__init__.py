@@ -1,0 +1,23 @@
+"""Downstream tasks: classification, imputation, forecasting, pretraining, similarity."""
+
+from repro.tasks.base import Task
+from repro.tasks.classification import ClassificationTask
+from repro.tasks.imputation import ImputationTask, PretrainTask
+from repro.tasks.forecasting import ForecastingTask
+from repro.tasks.similarity import SimilarityIndex, cluster_embeddings, extract_embeddings
+from repro.tasks.anomaly import AnomalyDetector, AnomalyResult
+from repro.tasks.vector_index import IVFFlatIndex
+
+__all__ = [
+    "IVFFlatIndex",
+    "Task",
+    "ClassificationTask",
+    "ImputationTask",
+    "PretrainTask",
+    "ForecastingTask",
+    "SimilarityIndex",
+    "cluster_embeddings",
+    "extract_embeddings",
+    "AnomalyDetector",
+    "AnomalyResult",
+]

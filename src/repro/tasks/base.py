@@ -1,0 +1,30 @@
+"""Task interface: how a model turns a batch into a loss and metrics."""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["Task"]
+
+
+class Task(Protocol):
+    """A trainable objective over ``(model, batch)`` pairs.
+
+    Implementations: classification (A.7.1), imputation (A.7.2),
+    forecasting (A.7.3), and the cloze pretraining task (Sec. 3).
+    """
+
+    #: Short identifier used in experiment tables.
+    name: str
+
+    def loss(self, model, batch: Mapping[str, np.ndarray]) -> Tensor:
+        """Differentiable loss for one batch."""
+        ...
+
+    def evaluate(self, model, batch: Mapping[str, np.ndarray]) -> dict[str, float]:
+        """Detached evaluation metrics for one batch (summed later)."""
+        ...

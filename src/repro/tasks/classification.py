@@ -1,0 +1,50 @@
+"""Classification task (paper A.7.1).
+
+The ``[CLS]`` representation feeds a linear softmax classifier trained with
+cross entropy.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.nn import CrossEntropyLoss
+
+__all__ = ["ClassificationTask"]
+
+
+class ClassificationTask:
+    """Cross-entropy training and accuracy evaluation."""
+
+    name = "classification"
+
+    def __init__(self) -> None:
+        self._loss = CrossEntropyLoss()
+
+    def loss(self, model, batch: Mapping[str, np.ndarray]) -> Tensor:
+        logits = model.classify(Tensor(batch["x"]))
+        return self._loss(logits, batch["y"])
+
+    def evaluate(self, model, batch: Mapping[str, np.ndarray]) -> dict[str, float]:
+        with no_grad():
+            logits = model.classify(Tensor(batch["x"]))
+            loss = self._loss(logits, batch["y"])
+        predictions = logits.data.argmax(axis=-1)
+        correct = float((predictions == batch["y"]).sum())
+        return {
+            "loss_sum": float(loss.data) * len(batch["y"]),
+            "correct": correct,
+            "count": float(len(batch["y"])),
+        }
+
+    @staticmethod
+    def summarize(totals: dict[str, float]) -> dict[str, float]:
+        """Reduce summed batch metrics to accuracy / mean loss."""
+        count = max(totals.get("count", 0.0), 1.0)
+        return {
+            "accuracy": totals.get("correct", 0.0) / count,
+            "loss": totals.get("loss_sum", 0.0) / count,
+        }

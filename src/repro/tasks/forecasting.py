@@ -1,0 +1,49 @@
+"""Forecasting task (paper A.7.3): imputation with the mask at the tail."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.data.masking import Scaler, mask_tail
+from repro.nn import MaskedMSELoss
+from repro.tasks.imputation import ImputationTask
+
+__all__ = ["ForecastingTask"]
+
+
+class ForecastingTask:
+    """Predict the last ``horizon`` timestamps from the preceding context."""
+
+    name = "forecasting"
+
+    def __init__(self, scaler: Scaler, horizon: int, mask_value: float = -1.0) -> None:
+        self.scaler = scaler
+        self.horizon = int(horizon)
+        self.mask_value = float(mask_value)
+        self._loss = MaskedMSELoss()
+
+    def _prepare(self, batch: Mapping[str, np.ndarray]):
+        scaled = self.scaler.transform(batch["x"])
+        masked, mask = mask_tail(scaled, self.horizon, mask_value=self.mask_value)
+        return scaled, masked, mask
+
+    def loss(self, model, batch: Mapping[str, np.ndarray]) -> Tensor:
+        scaled, masked, mask = self._prepare(batch)
+        prediction = model.reconstruct(Tensor(masked))
+        return self._loss(prediction, scaled, mask)
+
+    def evaluate(self, model, batch: Mapping[str, np.ndarray]) -> dict[str, float]:
+        scaled, masked, mask = self._prepare(batch)
+        with no_grad():
+            prediction = model.reconstruct(Tensor(masked))
+        error = (prediction.data - scaled)[mask]
+        return {
+            "sq_sum": float((error ** 2).sum()),
+            "abs_sum": float(np.abs(error).sum()),
+            "count": float(mask.sum()),
+        }
+
+    summarize = staticmethod(ImputationTask.summarize)

@@ -1,0 +1,78 @@
+"""Imputation and cloze-pretraining tasks (paper Sec. 3 and A.7.2).
+
+Both share the same mechanics: scale the series to [0, 1], replace a
+random subset of timestamps by the sentinel -1, and train the model to
+reconstruct the original values at the masked positions under a masked
+MSE.  Pretraining *is* the imputation objective applied to the unlabeled
+pool — :class:`PretrainTask` is a named alias with the paper's mask rate.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor, no_grad
+from repro.data.masking import Scaler, apply_timestamp_mask
+from repro.nn import MaskedMSELoss
+from repro.rng import get_rng
+
+__all__ = ["ImputationTask", "PretrainTask"]
+
+
+class ImputationTask:
+    """Masked-reconstruction objective with per-batch random masks."""
+
+    name = "imputation"
+
+    def __init__(
+        self,
+        scaler: Scaler,
+        mask_rate: float = 0.2,
+        mask_value: float = -1.0,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        self.scaler = scaler
+        self.mask_rate = float(mask_rate)
+        self.mask_value = float(mask_value)
+        self._rng = get_rng(rng)
+        self._loss = MaskedMSELoss()
+
+    def _prepare(self, batch: Mapping[str, np.ndarray]):
+        scaled = self.scaler.transform(batch["x"])
+        masked, mask = apply_timestamp_mask(
+            scaled, self.mask_rate, rng=self._rng, mask_value=self.mask_value
+        )
+        return scaled, masked, mask
+
+    def loss(self, model, batch: Mapping[str, np.ndarray]) -> Tensor:
+        scaled, masked, mask = self._prepare(batch)
+        reconstruction = model.reconstruct(Tensor(masked))
+        return self._loss(reconstruction, scaled, mask)
+
+    def evaluate(self, model, batch: Mapping[str, np.ndarray]) -> dict[str, float]:
+        scaled, masked, mask = self._prepare(batch)
+        with no_grad():
+            reconstruction = model.reconstruct(Tensor(masked))
+        error = reconstruction.data - scaled
+        masked_error = error[mask]
+        return {
+            "sq_sum": float((masked_error ** 2).sum()),
+            "abs_sum": float(np.abs(masked_error).sum()),
+            "count": float(mask.sum()),
+        }
+
+    @staticmethod
+    def summarize(totals: dict[str, float]) -> dict[str, float]:
+        count = max(totals.get("count", 0.0), 1.0)
+        return {
+            "mse": totals.get("sq_sum", 0.0) / count,
+            "mae": totals.get("abs_sum", 0.0) / count,
+        }
+
+
+class PretrainTask(ImputationTask):
+    """The mask-and-predict pretraining task (mask rate ``p = 0.2``)."""
+
+    name = "pretrain"

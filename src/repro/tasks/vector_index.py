@@ -1,0 +1,149 @@
+"""Inverted-file (IVF-Flat) vector index for embedding similarity search.
+
+Paper A.7.4: "a high dimensional similarity search system can be built on
+the embeddings", citing product-quantization/HNSW-style systems (FAISS).
+:class:`SimilarityIndex` covers exact brute force; this module adds the
+classic scalable variant: coarse K-means partitions the embeddings into
+``n_lists`` inverted lists, and a query scans only the ``n_probe``
+closest lists — trading a little recall for a large constant-factor
+speedup, the same design as FAISS's ``IndexIVFFlat``.
+
+Reuses :func:`repro.cluster.batched_kmeans` (the paper's GPU-friendly
+K-means) as the coarse quantizer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.kmeans import batched_kmeans
+from repro.errors import ConfigError, ShapeError
+from repro.rng import get_rng
+
+__all__ = ["IVFFlatIndex"]
+
+
+class IVFFlatIndex:
+    """Inverted-file index with exact distances inside probed lists.
+
+    Parameters
+    ----------
+    n_lists:
+        Number of coarse K-means partitions (inverted lists).
+    n_probe:
+        Lists scanned per query; ``n_probe == n_lists`` is exact search.
+    metric:
+        ``"l2"`` (squared Euclidean) or ``"ip"`` (inner product; use with
+        normalized embeddings for cosine search).
+    """
+
+    def __init__(
+        self,
+        n_lists: int = 16,
+        n_probe: int = 4,
+        metric: str = "l2",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if n_lists < 1:
+            raise ConfigError("n_lists must be >= 1")
+        if not 1 <= n_probe <= n_lists:
+            raise ConfigError("n_probe must be in [1, n_lists]")
+        if metric not in {"l2", "ip"}:
+            raise ConfigError(f"unknown metric {metric!r}")
+        self.n_lists = int(n_lists)
+        self.n_probe = int(n_probe)
+        self.metric = metric
+        self._rng = get_rng(rng)
+        self.centroids: np.ndarray | None = None
+        self._lists: list[np.ndarray] = []
+        self._vectors: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def train(self, vectors: np.ndarray, kmeans_iters: int = 20) -> "IVFFlatIndex":
+        """Learn the coarse quantizer and build the inverted lists."""
+        vectors = np.asarray(vectors, dtype=float)
+        if vectors.ndim != 2:
+            raise ShapeError(f"expected (n, d) vectors, got {vectors.shape}")
+        n_lists = min(self.n_lists, len(vectors))
+        result = batched_kmeans(
+            vectors[None], n_lists, n_iters=kmeans_iters, rng=self._rng, init="++"
+        )
+        self.centroids = result.centers[0]
+        assignments = result.assignments[0]
+        self._vectors = vectors
+        self._lists = [
+            np.nonzero(assignments == list_id)[0] for list_id in range(n_lists)
+        ]
+        return self
+
+    @property
+    def is_trained(self) -> bool:
+        return self.centroids is not None
+
+    def __len__(self) -> int:
+        return 0 if self._vectors is None else len(self._vectors)
+
+    def list_sizes(self) -> np.ndarray:
+        """Occupancy of each inverted list (balance diagnostic)."""
+        return np.array([len(ids) for ids in self._lists])
+
+    # ------------------------------------------------------------------
+    def _scores_to_centroids(self, query: np.ndarray) -> np.ndarray:
+        assert self.centroids is not None
+        if self.metric == "ip":
+            return -(self.centroids @ query)  # lower is better internally
+        diff = self.centroids - query
+        return np.einsum("ld,ld->l", diff, diff)
+
+    def _scores_to_vectors(self, query: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        assert self._vectors is not None
+        candidates = self._vectors[ids]
+        if self.metric == "ip":
+            return -(candidates @ query)
+        diff = candidates - query
+        return np.einsum("nd,nd->n", diff, diff)
+
+    def search(self, query: np.ndarray, k: int = 5) -> tuple[np.ndarray, np.ndarray]:
+        """Top-``k`` nearest ids and their distances/similarities.
+
+        Returns ``(ids, scores)`` where scores are squared L2 distances
+        (metric ``"l2"``, ascending) or inner products (metric ``"ip"``,
+        descending).
+        """
+        if not self.is_trained:
+            raise ConfigError("IVFFlatIndex.search called before train()")
+        query = np.asarray(query, dtype=float).reshape(-1)
+        centroid_scores = self._scores_to_centroids(query)
+        n_probe = min(self.n_probe, len(centroid_scores))
+        probed = np.argpartition(centroid_scores, n_probe - 1)[:n_probe]
+        candidate_ids = np.concatenate([self._lists[list_id] for list_id in probed]) \
+            if n_probe else np.empty(0, dtype=int)
+        if len(candidate_ids) == 0:
+            return np.empty(0, dtype=int), np.empty(0)
+        scores = self._scores_to_vectors(query, candidate_ids)
+        k = min(k, len(candidate_ids))
+        top = np.argpartition(scores, k - 1)[:k]
+        order = top[np.argsort(scores[top])]
+        ids = candidate_ids[order]
+        if self.metric == "ip":
+            return ids, -scores[order]
+        return ids, scores[order]
+
+    def recall_at_k(self, queries: np.ndarray, k: int = 5) -> float:
+        """Fraction of exact top-``k`` neighbours found (evaluation helper)."""
+        if not self.is_trained or self._vectors is None:
+            raise ConfigError("IVFFlatIndex.recall_at_k called before train()")
+        hits = 0
+        total = 0
+        for query in np.asarray(queries, dtype=float):
+            approx_ids, _ = self.search(query, k=k)
+            if self.metric == "ip":
+                exact_scores = -(self._vectors @ query)
+            else:
+                diff = self._vectors - query
+                exact_scores = np.einsum("nd,nd->n", diff, diff)
+            kk = min(k, len(self._vectors))
+            exact_ids = np.argpartition(exact_scores, kk - 1)[:kk]
+            hits += len(set(approx_ids.tolist()) & set(exact_ids.tolist()))
+            total += kk
+        return hits / max(total, 1)

@@ -1,0 +1,20 @@
+"""Training harness: trainer, epoch history, metrics."""
+
+from repro.train.metrics import accuracy, macro_f1, mae, mse
+from repro.train.trainer import EpochStats, History, Trainer, evaluate_task
+from repro.train.checkpoint import load_checkpoint, save_checkpoint
+from repro.train.callbacks import EarlyStopping
+
+__all__ = [
+    "accuracy",
+    "macro_f1",
+    "mae",
+    "mse",
+    "EpochStats",
+    "History",
+    "Trainer",
+    "evaluate_task",
+    "load_checkpoint",
+    "save_checkpoint",
+    "EarlyStopping",
+]

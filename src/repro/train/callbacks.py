@@ -1,0 +1,72 @@
+"""Training callbacks: early stopping and best-weight tracking."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["EarlyStopping"]
+
+
+class EarlyStopping:
+    """Stop training when a validation metric stops improving.
+
+    Parameters
+    ----------
+    metric:
+        Key into ``EpochStats.val_metrics`` (e.g. ``"accuracy"``, ``"mse"``).
+    mode:
+        ``"max"`` (higher is better) or ``"min"``.
+    patience:
+        Number of non-improving epochs tolerated before stopping.
+    min_delta:
+        Minimum change that counts as an improvement.
+    restore_best:
+        When true, snapshot the best-epoch weights and restore them on
+        stop (requires passing the model to :meth:`update`).
+    """
+
+    def __init__(
+        self,
+        metric: str,
+        mode: str = "max",
+        patience: int = 3,
+        min_delta: float = 0.0,
+        restore_best: bool = True,
+    ) -> None:
+        if mode not in {"max", "min"}:
+            raise ConfigError(f"mode must be 'max' or 'min', got {mode!r}")
+        if patience < 1:
+            raise ConfigError("patience must be >= 1")
+        self.metric = metric
+        self.mode = mode
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.restore_best = restore_best
+        self.best_value: float | None = None
+        self.best_state: dict | None = None
+        self.stale_epochs = 0
+        self.stopped = False
+
+    def _improved(self, value: float) -> bool:
+        if self.best_value is None:
+            return True
+        if self.mode == "max":
+            return value > self.best_value + self.min_delta
+        return value < self.best_value - self.min_delta
+
+    def update(self, value: float, model=None) -> bool:
+        """Record one epoch's metric; returns ``True`` when training should stop."""
+        if self._improved(value):
+            self.best_value = float(value)
+            self.stale_epochs = 0
+            if self.restore_best and model is not None:
+                self.best_state = model.state_dict()
+        else:
+            self.stale_epochs += 1
+            if self.stale_epochs >= self.patience:
+                self.stopped = True
+                if self.restore_best and self.best_state is not None and model is not None:
+                    model.load_state_dict(self.best_state)
+        return self.stopped

@@ -1,0 +1,63 @@
+"""Model checkpointing.
+
+Serializes a module's ``state_dict`` (plus arbitrary JSON-compatible
+metadata) to a single ``.npz`` file.  Used to hand pretrained encoders to
+finetuning runs and to resume interrupted training.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nn.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+_METADATA_KEY = "__checkpoint_metadata__"
+
+
+def save_checkpoint(model: Module, path, metadata: dict | None = None) -> None:
+    """Write the model's parameters (and optional metadata) to ``path``.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`~repro.nn.Module`.
+    path:
+        Target file; ``.npz`` is appended by NumPy when missing.
+    metadata:
+        JSON-serializable dict stored alongside the weights (e.g. epoch,
+        config fields, metrics).
+    """
+    path = pathlib.Path(path)
+    state = model.state_dict()
+    if _METADATA_KEY in state:
+        raise ConfigError(f"parameter name {_METADATA_KEY!r} collides with metadata slot")
+    payload = dict(state)
+    payload[_METADATA_KEY] = np.frombuffer(
+        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **payload)
+
+
+def load_checkpoint(model: Module, path) -> dict:
+    """Load parameters saved by :func:`save_checkpoint`; returns metadata.
+
+    The model architecture must match (same parameter names and shapes);
+    mismatches raise :class:`~repro.errors.ConfigError` via
+    ``load_state_dict``.
+    """
+    path = pathlib.Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    with np.load(path) as archive:
+        metadata_bytes = archive[_METADATA_KEY].tobytes() if _METADATA_KEY in archive else b"{}"
+        state = {
+            key: archive[key] for key in archive.files if key != _METADATA_KEY
+        }
+    model.load_state_dict(state)
+    return json.loads(metadata_bytes.decode("utf-8"))

@@ -1,0 +1,42 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "mse", "mae", "macro_f1"]
+
+
+def accuracy(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of exact label matches."""
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    if len(targets) == 0:
+        return 0.0
+    return float((predictions == targets).mean())
+
+
+def mse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean squared error."""
+    diff = np.asarray(predictions, dtype=float) - np.asarray(targets, dtype=float)
+    return float((diff ** 2).mean())
+
+
+def mae(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Mean absolute error."""
+    diff = np.asarray(predictions, dtype=float) - np.asarray(targets, dtype=float)
+    return float(np.abs(diff).mean())
+
+
+def macro_f1(predictions: np.ndarray, targets: np.ndarray) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    predictions = np.asarray(predictions)
+    targets = np.asarray(targets)
+    scores = []
+    for cls in np.unique(targets):
+        tp = float(((predictions == cls) & (targets == cls)).sum())
+        fp = float(((predictions == cls) & (targets != cls)).sum())
+        fn = float(((predictions != cls) & (targets == cls)).sum())
+        denom = 2 * tp + fp + fn
+        scores.append(2 * tp / denom if denom > 0 else 0.0)
+    return float(np.mean(scores)) if scores else 0.0

@@ -1,0 +1,198 @@
+"""Vanilla, Performer, Linformer, Local attention and the multi-head wrapper."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attention import (
+    GroupAttention,
+    LinformerAttention,
+    LocalAttention,
+    MultiHeadSelfAttention,
+    PerformerAttention,
+    VanillaAttention,
+    orthogonal_gaussian_features,
+)
+from repro.autograd import Tensor, gradcheck
+from repro.errors import ConfigError, ShapeError
+
+
+def qkv(rng, b=2, h=2, n=10, d=4, grad=False):
+    return tuple(
+        Tensor(rng.standard_normal((b, h, n, d)), requires_grad=grad) for _ in range(3)
+    )
+
+
+class TestVanilla:
+    def test_matches_manual_softmax(self, rng):
+        q, k, v = qkv(rng, b=1, h=1, n=6, d=3)
+        out = VanillaAttention()(q, k, v).data[0, 0]
+        scores = q.data[0, 0] @ k.data[0, 0].T / math.sqrt(3)
+        attn = np.exp(scores - scores.max(axis=1, keepdims=True))
+        attn /= attn.sum(axis=1, keepdims=True)
+        np.testing.assert_allclose(out, attn @ v.data[0, 0], atol=1e-12)
+
+    def test_gradcheck(self, rng):
+        q, k, v = qkv(rng, b=1, h=1, n=5, d=3, grad=True)
+        assert gradcheck(lambda q, k, v: VanillaAttention()(q, k, v), [q, k, v])
+
+    def test_uniform_when_keys_identical(self, rng):
+        q = Tensor(rng.standard_normal((1, 1, 4, 3)))
+        k = Tensor(np.ones((1, 1, 4, 3)))
+        v = Tensor(rng.standard_normal((1, 1, 4, 3)))
+        out = VanillaAttention()(q, k, v).data[0, 0]
+        np.testing.assert_allclose(out, np.tile(v.data[0, 0].mean(0), (4, 1)), atol=1e-12)
+
+
+class TestPerformer:
+    def test_approximates_softmax_attention(self, rng):
+        """FAVOR+ with many features converges to exact attention."""
+        q, k, v = qkv(np.random.default_rng(0), b=1, h=1, n=8, d=4)
+        q = Tensor(q.data * 0.5)
+        k = Tensor(k.data * 0.5)
+        exact = VanillaAttention()(q, k, v).data
+        approx = PerformerAttention(n_features=4096, rng=np.random.default_rng(1))(q, k, v).data
+        assert np.abs(approx - exact).mean() < 0.05
+        assert np.abs(approx - exact).max() < 0.2
+
+    def test_more_features_reduce_error(self, rng):
+        q, k, v = qkv(np.random.default_rng(2), b=1, h=1, n=8, d=4)
+        q = Tensor(q.data * 0.5)
+        k = Tensor(k.data * 0.5)
+        exact = VanillaAttention()(q, k, v).data
+
+        def error(m, seed):
+            out = PerformerAttention(n_features=m, rng=np.random.default_rng(seed))(q, k, v).data
+            return np.abs(out - exact).mean()
+
+        few = np.mean([error(16, s) for s in range(5)])
+        many = np.mean([error(1024, s) for s in range(5)])
+        assert many < few
+
+    def test_orthogonal_features_blocks(self):
+        feats = orthogonal_gaussian_features(8, 4, np.random.default_rng(0))
+        assert feats.shape == (8, 4)
+        # Rows within one block of 4 are orthogonal.
+        block = feats[:4]
+        gram = block @ block.T
+        off_diag = gram - np.diag(np.diag(gram))
+        np.testing.assert_allclose(off_diag, 0.0, atol=1e-9)
+
+    def test_features_cached_until_redraw(self, rng):
+        pa = PerformerAttention(n_features=8, rng=rng)
+        q, k, v = qkv(rng, n=5)
+        pa(q, k, v)
+        first = pa._features.copy()
+        pa(q, k, v)
+        np.testing.assert_array_equal(pa._features, first)
+
+    def test_redraw_interval(self, rng):
+        pa = PerformerAttention(n_features=8, redraw_interval=1, rng=rng)
+        q, k, v = qkv(rng, n=5)
+        pa(q, k, v)
+        first = pa._features.copy()
+        pa(q, k, v)
+        assert not np.array_equal(pa._features, first)
+
+    def test_gradients_flow(self, rng):
+        q, k, v = qkv(rng, b=1, h=1, n=6, d=3, grad=True)
+        PerformerAttention(n_features=16, rng=rng)(q, k, v).sum().backward()
+        assert q.grad is not None and k.grad is not None and v.grad is not None
+
+
+class TestLinformer:
+    def test_output_shape(self, rng):
+        att = LinformerAttention(max_len=20, proj_dim=6, rng=rng)
+        q, k, v = qkv(rng, n=15)
+        assert att(q, k, v).shape == (2, 2, 15, 4)
+
+    def test_shorter_sequences_allowed(self, rng):
+        att = LinformerAttention(max_len=20, proj_dim=6, rng=rng)
+        q, k, v = qkv(rng, n=5)
+        assert att(q, k, v).shape[2] == 5
+
+    def test_longer_sequence_raises(self, rng):
+        att = LinformerAttention(max_len=8, proj_dim=4, rng=rng)
+        q, k, v = qkv(rng, n=10)
+        with pytest.raises(ShapeError):
+            att(q, k, v)
+
+    def test_projection_parameters_trainable(self, rng):
+        att = LinformerAttention(max_len=12, proj_dim=4, rng=rng)
+        q, k, v = qkv(rng, n=10, grad=True)
+        att(q, k, v).sum().backward()
+        assert att.key_proj.grad is not None
+        assert att.value_proj.grad is not None
+        # Positions beyond the sequence length receive zero gradient.
+        np.testing.assert_allclose(att.key_proj.grad[:, 10:], 0.0)
+
+    def test_invalid_proj_dim_raises(self):
+        with pytest.raises(ConfigError):
+            LinformerAttention(max_len=8, proj_dim=0)
+
+    def test_extra_parameters_exist(self, rng):
+        """Linformer's E/F projections add parameters — the overfitting
+        liability the paper observes in the few-label regime."""
+        att = LinformerAttention(max_len=50, proj_dim=8, rng=rng)
+        assert sum(p.size for p in att.parameters()) == 2 * 8 * 50
+
+
+class TestLocal:
+    def test_respects_window(self, rng):
+        att = LocalAttention(window=1)
+        n = 6
+        q = Tensor(rng.standard_normal((1, 1, n, 3)))
+        k = Tensor(rng.standard_normal((1, 1, n, 3)))
+        # Use one-hot values so the output reveals the attention support.
+        v = Tensor(np.eye(n)[None, None])
+        out = att(q, k, v).data[0, 0]
+        for i in range(n):
+            outside = [j for j in range(n) if abs(i - j) > 1]
+            np.testing.assert_allclose(out[i, outside], 0.0, atol=1e-9)
+
+    def test_large_window_equals_vanilla(self, rng):
+        q, k, v = qkv(rng, n=7)
+        local = LocalAttention(window=10)(q, k, v).data
+        vanilla = VanillaAttention()(q, k, v).data
+        np.testing.assert_allclose(local, vanilla, atol=1e-9)
+
+    def test_mask_cached(self, rng):
+        att = LocalAttention(window=2)
+        q, k, v = qkv(rng, n=9)
+        att(q, k, v)
+        mask_id = id(att._mask_cache[9])
+        att(q, k, v)
+        assert id(att._mask_cache[9]) == mask_id
+
+
+class TestMultiHead:
+    def test_shapes_and_gradients(self, rng):
+        mha = MultiHeadSelfAttention(16, 4, VanillaAttention(), rng=rng)
+        x = Tensor(rng.standard_normal((2, 9, 16)), requires_grad=True)
+        out = mha(x)
+        assert out.shape == (2, 9, 16)
+        out.sum().backward()
+        assert x.grad is not None
+        assert mha.w_query.weight.grad is not None
+
+    def test_dim_not_divisible_raises(self, rng):
+        with pytest.raises(ConfigError):
+            MultiHeadSelfAttention(10, 3, VanillaAttention(), rng=rng)
+
+    def test_mechanism_swappable(self, rng):
+        for mech in [GroupAttention(n_groups=4, rng=rng),
+                     PerformerAttention(n_features=8, rng=rng),
+                     LinformerAttention(max_len=16, proj_dim=4, rng=rng),
+                     LocalAttention(window=2)]:
+            mha = MultiHeadSelfAttention(8, 2, mech, rng=rng)
+            out = mha(Tensor(rng.standard_normal((2, 12, 8))))
+            assert out.shape == (2, 12, 8), type(mech).__name__
+
+    def test_head_split_roundtrip(self, rng):
+        mha = MultiHeadSelfAttention(8, 2, VanillaAttention(), rng=rng)
+        x = Tensor(rng.standard_normal((3, 5, 8)))
+        split = mha._split_heads(x)
+        assert split.shape == (3, 2, 5, 4)
+        merged = mha._merge_heads(split)
+        np.testing.assert_allclose(merged.data, x.data)

@@ -1,0 +1,136 @@
+"""Tensor mechanics: construction, backward, grad mode, errors."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, no_grad, is_grad_enabled, zeros, ones, randn, arange
+from repro.autograd.tensor import unbroadcast
+from repro.errors import GradError, ShapeError
+
+
+class TestConstruction:
+    def test_from_list_becomes_float(self):
+        t = Tensor([1, 2, 3])
+        assert t.dtype == np.float64
+        assert t.shape == (3,)
+
+    def test_from_int_array_becomes_float(self):
+        t = Tensor(np.arange(4, dtype=np.int32))
+        assert t.dtype == np.float64
+
+    def test_float32_preserved(self):
+        t = Tensor(np.zeros(3, dtype=np.float32))
+        assert t.dtype == np.float32
+
+    def test_from_tensor_shares_data(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor(a)
+        assert b.data is a.data
+
+    def test_constructors(self):
+        assert zeros(2, 3).shape == (2, 3)
+        assert ones(4).data.sum() == 4
+        assert randn(2, 2, rng=np.random.default_rng(0)).shape == (2, 2)
+        assert arange(5).shape == (5,)
+
+    def test_item_scalar(self):
+        assert Tensor(3.5).item() == 3.5
+
+    def test_item_non_scalar_raises(self):
+        with pytest.raises(ShapeError):
+            Tensor([1.0, 2.0]).item()
+
+
+class TestBackward:
+    def test_scalar_backward_default_grad(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = x * x
+        y.backward()
+        assert x.grad == pytest.approx(4.0)
+
+    def test_nonscalar_backward_requires_grad_arg(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(GradError):
+            (x * 2).backward()
+
+    def test_explicit_gradient(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        (x * 3).backward(np.array([1.0, 10.0]))
+        np.testing.assert_allclose(x.grad, [3.0, 30.0])
+
+    def test_gradient_shape_mismatch_raises(self):
+        x = Tensor([1.0, 2.0], requires_grad=True)
+        with pytest.raises(ShapeError):
+            (x * 3).backward(np.ones(3))
+
+    def test_backward_on_leaf_without_grad_raises(self):
+        x = Tensor([1.0])
+        with pytest.raises(GradError):
+            x.backward()
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor(1.0, requires_grad=True)
+        (x * 2).backward()
+        (x * 3).backward()
+        assert x.grad == pytest.approx(5.0)
+
+    def test_zero_grad(self):
+        x = Tensor(1.0, requires_grad=True)
+        (x * 2).backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_diamond_graph_accumulates_once_per_path(self):
+        # y = x*x + x*x should give dy/dx = 4x.
+        x = Tensor(3.0, requires_grad=True)
+        a = x * x
+        y = a + a
+        y.backward()
+        assert x.grad == pytest.approx(12.0)
+
+    def test_shared_subexpression(self):
+        x = Tensor(2.0, requires_grad=True)
+        s = x * 3
+        y = s * s  # y = 9 x^2, dy/dx = 18x = 36
+        y.backward()
+        assert x.grad == pytest.approx(36.0)
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(1.0, requires_grad=True)
+        with no_grad():
+            y = x * 2
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_no_grad_restores_state(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(2.0, requires_grad=True)
+        y = (x * 3).detach()
+        assert not y.requires_grad
+        assert y.data == pytest.approx(6.0)
+
+
+class TestUnbroadcast:
+    def test_no_op_when_shapes_match(self):
+        g = np.ones((2, 3))
+        assert unbroadcast(g, (2, 3)).shape == (2, 3)
+
+    def test_sums_prepended_axes(self):
+        g = np.ones((4, 2, 3))
+        out = unbroadcast(g, (2, 3))
+        np.testing.assert_allclose(out, np.full((2, 3), 4.0))
+
+    def test_sums_size_one_axes(self):
+        g = np.ones((2, 5))
+        out = unbroadcast(g, (2, 1))
+        np.testing.assert_allclose(out, np.full((2, 1), 5.0))
+
+    def test_combined(self):
+        g = np.ones((7, 2, 5))
+        out = unbroadcast(g, (1, 5))
+        np.testing.assert_allclose(out, np.full((1, 5), 14.0))

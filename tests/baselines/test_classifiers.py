@@ -1,0 +1,75 @@
+"""Shallow classifiers: kNN and logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import KNNClassifier, LogisticRegressionClassifier
+from repro.errors import ConfigError, ShapeError
+
+
+def blobs(rng, per_class=20, separation=6.0):
+    a = rng.standard_normal((per_class, 2)) + [0, 0]
+    b = rng.standard_normal((per_class, 2)) + [separation, 0]
+    c = rng.standard_normal((per_class, 2)) + [0, separation]
+    x = np.concatenate([a, b, c])
+    y = np.repeat([0, 1, 2], per_class)
+    return x, y
+
+
+class TestKNN:
+    def test_k1_memorizes_training_set(self, rng):
+        x, y = blobs(rng)
+        clf = KNNClassifier(k=1).fit(x, y)
+        assert clf.score(x, y) == 1.0
+
+    def test_separable_blobs(self, rng):
+        x, y = blobs(rng)
+        clf = KNNClassifier(k=5).fit(x, y)
+        queries, labels = blobs(np.random.default_rng(1))
+        assert clf.score(queries, labels) > 0.95
+
+    def test_cosine_metric(self, rng):
+        x = np.array([[1.0, 0.0], [0.0, 1.0], [2.0, 0.0], [0.0, 3.0]])
+        y = np.array([0, 1, 0, 1])
+        clf = KNNClassifier(k=1, metric="cosine").fit(x, y)
+        assert clf.predict(np.array([[10.0, 0.1]]))[0] == 0
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ConfigError):
+            KNNClassifier(metric="manhattan")
+
+    def test_predict_before_fit_raises(self, rng):
+        with pytest.raises(ConfigError):
+            KNNClassifier().predict(rng.standard_normal((2, 2)))
+
+    def test_bad_feature_ndim_raises(self, rng):
+        with pytest.raises(ShapeError):
+            KNNClassifier().fit(rng.standard_normal(5), np.zeros(5))
+
+    def test_k_larger_than_train_set(self, rng):
+        x, y = blobs(rng, per_class=2)
+        clf = KNNClassifier(k=50).fit(x, y)
+        assert clf.predict(x[:1]).shape == (1,)
+
+
+class TestLogisticRegression:
+    def test_separable_blobs(self, rng):
+        x, y = blobs(rng)
+        clf = LogisticRegressionClassifier(epochs=300, rng=rng).fit(x, y)
+        assert clf.score(x, y) > 0.95
+
+    def test_non_contiguous_labels(self, rng):
+        x, y = blobs(rng)
+        labels = np.array([10, 20, 77])[y]
+        clf = LogisticRegressionClassifier(epochs=200, rng=rng).fit(x, labels)
+        assert set(np.unique(clf.predict(x))).issubset({10, 20, 77})
+
+    def test_predict_before_fit_raises(self, rng):
+        with pytest.raises(ConfigError):
+            LogisticRegressionClassifier(rng=rng).predict(np.zeros((1, 2)))
+
+    def test_l2_shrinks_weights(self, rng):
+        x, y = blobs(rng)
+        low = LogisticRegressionClassifier(epochs=200, l2=0.0, rng=np.random.default_rng(0)).fit(x, y)
+        high = LogisticRegressionClassifier(epochs=200, l2=1.0, rng=np.random.default_rng(0)).fit(x, y)
+        assert np.linalg.norm(high.weights) < np.linalg.norm(low.weights)

@@ -1,0 +1,122 @@
+"""GRAIL: NCC kernel properties, Nyström representation, classification."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GrailClassifier, GrailRepresentation, ncc_kernel, zscore
+from repro.data import generate_har, univariate
+from repro.errors import ConfigError, ShapeError
+
+
+class TestZScore:
+    def test_zero_mean_unit_std(self, rng):
+        x = rng.standard_normal((5, 50)) * 3 + 7
+        z = zscore(x)
+        np.testing.assert_allclose(z.mean(axis=1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(z.std(axis=1), 1.0, atol=1e-9)
+
+    def test_constant_series_safe(self):
+        z = zscore(np.ones((2, 10)))
+        np.testing.assert_allclose(z, 0.0)
+
+
+class TestNccKernel:
+    def test_self_similarity_is_one(self, rng):
+        x = rng.standard_normal((4, 64))
+        kernel = ncc_kernel(x, x)
+        np.testing.assert_allclose(np.diag(kernel), 1.0, atol=1e-9)
+
+    def test_bounded(self, rng):
+        a, b = rng.standard_normal((5, 32)), rng.standard_normal((6, 32))
+        kernel = ncc_kernel(a, b)
+        assert kernel.shape == (5, 6)
+        assert (kernel <= 1.0 + 1e-9).all()
+
+    def test_shift_invariance(self, rng):
+        """The SINK-family property GRAIL relies on: a shifted copy stays
+        highly similar.  Zero-padded (non-circular) NCC caps the value at
+        roughly ``(L - shift) / L``, so the bound is checked against that.
+        """
+        base = np.sin(np.linspace(0, 8 * np.pi, 64))
+        shift = 9
+        shifted = np.roll(base, shift)
+        kernel = ncc_kernel(base[None], shifted[None])
+        assert kernel[0, 0] > (64 - shift) / 64 - 0.05
+        # And far more similar than an unrelated series.
+        noise = rng.standard_normal(64)
+        assert kernel[0, 0] > ncc_kernel(base[None], noise[None])[0, 0] + 0.2
+
+    def test_amplitude_invariance(self, rng):
+        x = rng.standard_normal(48)
+        kernel = ncc_kernel(x[None], (5.0 * x + 3.0)[None])
+        assert kernel[0, 0] == pytest.approx(1.0, abs=1e-9)
+
+    def test_incompatible_lengths_raise(self, rng):
+        with pytest.raises(ShapeError):
+            ncc_kernel(rng.standard_normal((2, 10)), rng.standard_normal((2, 12)))
+
+
+class TestRepresentation:
+    def test_embedding_shapes(self, rng):
+        series = rng.standard_normal((30, 64))
+        rep = GrailRepresentation(n_landmarks=8, rng=rng)
+        z = rep.fit_transform(series)
+        assert z.shape[0] == 30
+        assert 1 <= z.shape[1] <= 8
+
+    def test_accepts_univariate_3d(self, rng):
+        series = rng.standard_normal((10, 32, 1))
+        rep = GrailRepresentation(n_landmarks=4, rng=rng)
+        assert rep.fit_transform(series).shape[0] == 10
+
+    def test_rejects_multivariate(self, rng):
+        rep = GrailRepresentation(n_landmarks=4, rng=rng)
+        with pytest.raises(ShapeError):
+            rep.fit(rng.standard_normal((10, 32, 3)))
+
+    def test_transform_before_fit_raises(self, rng):
+        rep = GrailRepresentation(n_landmarks=4, rng=rng)
+        with pytest.raises(ConfigError):
+            rep.transform(rng.standard_normal((5, 16)))
+
+    def test_too_few_landmarks_raises(self):
+        with pytest.raises(ConfigError):
+            GrailRepresentation(n_landmarks=1)
+
+    def test_similar_series_embed_nearby(self, rng):
+        t = np.linspace(0, 6 * np.pi, 64)
+        slow = np.stack([np.sin(t + p) for p in rng.uniform(0, 6, 10)])
+        fast = np.stack([np.sin(4 * t + p) for p in rng.uniform(0, 6, 10)])
+        rep = GrailRepresentation(n_landmarks=6, rng=rng)
+        z = rep.fit_transform(np.concatenate([slow, fast]))
+        centroid_slow, centroid_fast = z[:10].mean(0), z[10:].mean(0)
+        within = np.linalg.norm(z[:10] - centroid_slow, axis=1).mean()
+        between = np.linalg.norm(centroid_slow - centroid_fast)
+        assert between > within
+
+
+class TestGrailClassifier:
+    def test_beats_chance_on_separable_har(self):
+        rng = np.random.default_rng(3)
+        data = univariate(generate_har("hhar", 160, 100, rng=rng, noise_std=0.1))
+        split = 120
+        clf = GrailClassifier(n_landmarks=20, classifier="knn", rng=rng)
+        clf.fit(data.x[:split], data.y[:split])
+        accuracy = clf.score(data.x[split:], data.y[split:])
+        assert accuracy > 1.5 / 5  # well above the 5-class chance level
+
+    def test_records_training_time(self, rng):
+        data = univariate(generate_har("rwhar", 40, 64, rng=rng))
+        clf = GrailClassifier(n_landmarks=8, rng=rng)
+        clf.fit(data.x, data.y)
+        assert clf.train_seconds is not None and clf.train_seconds > 0
+
+    def test_logreg_variant(self, rng):
+        data = univariate(generate_har("hhar", 60, 64, rng=rng))
+        clf = GrailClassifier(n_landmarks=8, classifier="logreg", rng=rng)
+        clf.fit(data.x, data.y)
+        assert clf.predict(data.x[:5]).shape == (5,)
+
+    def test_unknown_classifier_raises(self, rng):
+        with pytest.raises(ConfigError):
+            GrailClassifier(classifier="svm-rbf", rng=rng)

@@ -1,0 +1,98 @@
+"""TST baseline: architecture, heads, and the liabilities the paper calls out."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.baselines import TSTConfig, TSTModel
+from repro.errors import ConfigError, ShapeError
+
+
+@pytest.fixture
+def tst(rng):
+    config = TSTConfig(
+        input_channels=3, max_len=20, dim=16, n_layers=2, n_heads=2,
+        dropout=0.0, n_classes=4,
+    )
+    return TSTModel(config, rng=rng)
+
+
+class TestArchitecture:
+    def test_encode_per_timestep(self, tst, rng):
+        hidden = tst.encode(rng.standard_normal((2, 20, 3)))
+        assert hidden.shape == (2, 20, 16)
+
+    def test_classify_shape(self, tst, rng):
+        logits = tst.classify(rng.standard_normal((3, 20, 3)))
+        assert logits.shape == (3, 4)
+
+    def test_classifier_requires_full_length(self, tst, rng):
+        with pytest.raises(ShapeError):
+            tst.classify(rng.standard_normal((2, 15, 3)))
+
+    def test_reconstruct_shape(self, tst, rng):
+        out = tst.reconstruct(rng.standard_normal((2, 20, 3)))
+        assert out.shape == (2, 20, 3)
+
+    def test_no_classifier_raises(self, rng):
+        config = TSTConfig(input_channels=3, max_len=20, dim=16, n_layers=1)
+        model = TSTModel(config, rng=rng)
+        with pytest.raises(ConfigError):
+            model.classify(rng.standard_normal((1, 20, 3)))
+
+    def test_concat_classifier_params_grow_with_length(self, rng):
+        """The paper's overfitting explanation: TST's classifier parameter
+        count is linear in series length (Sec. 6.2.1)."""
+        def classifier_params(max_len):
+            config = TSTConfig(input_channels=3, max_len=max_len, dim=16,
+                               n_layers=1, n_classes=4)
+            model = TSTModel(config, rng=np.random.default_rng(0))
+            return model.classifier.weight.size
+
+        assert classifier_params(200) == 10 * classifier_params(20)
+
+    def test_uses_batch_norm_not_layer_norm(self, tst):
+        from repro.nn import BatchNorm1d, LayerNorm
+        norms = [m for m in tst.modules() if isinstance(m, BatchNorm1d)]
+        layer_norms = [m for m in tst.modules() if isinstance(m, LayerNorm)]
+        assert norms and not layer_norms
+
+    def test_embed_mean_pooling(self, tst, rng):
+        emb = tst.embed(rng.standard_normal((4, 20, 3)))
+        assert emb.shape == (4, 16)
+
+
+class TestInterfaceParity:
+    def test_group_layers_empty(self, tst):
+        assert tst.group_attention_layers() == []
+        assert tst.mean_groups() == 0.0
+
+    def test_memory_estimation_includes_classifier(self, rng):
+        with_head = TSTModel(
+            TSTConfig(input_channels=3, max_len=20, dim=16, n_layers=1, n_classes=4), rng=rng
+        )
+        without_head = TSTModel(
+            TSTConfig(input_channels=3, max_len=20, dim=16, n_layers=1), rng=rng
+        )
+        assert with_head.estimate_step_bytes(2, 20) > without_head.estimate_step_bytes(2, 20)
+
+    def test_attention_fixed_to_vanilla(self):
+        config = TSTConfig(input_channels=3, max_len=20)
+        assert config.attention == "vanilla"
+
+    def test_trainable_end_to_end(self, tst, rng):
+        from repro.nn import CrossEntropyLoss
+        from repro.optim import AdamW
+        x = rng.standard_normal((8, 20, 3))
+        y = rng.integers(0, 4, 8)
+        optimizer = AdamW(tst.parameters(), lr=1e-3, weight_decay=0.0)
+        loss_fn = CrossEntropyLoss()
+        first = None
+        for _ in range(15):
+            optimizer.zero_grad()
+            loss = loss_fn(tst.classify(x), y)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            optimizer.step()
+        assert loss.item() < first

@@ -1,0 +1,108 @@
+"""Batched K-means: correctness of the matrix-product formulation and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import batched_kmeans, kmeans_pp_init, pairwise_sq_distances
+from repro.errors import ShapeError
+
+
+class TestPairwiseDistances:
+    def test_matches_naive(self, rng):
+        """|v|^2+|c|^2-2vc (Sec 4.4 formulation) == pairwise differences."""
+        points = rng.standard_normal((3, 10, 4))
+        centers = rng.standard_normal((3, 5, 4))
+        fast = pairwise_sq_distances(points, centers)
+        naive = ((points[:, :, None, :] - centers[:, None, :, :]) ** 2).sum(-1)
+        np.testing.assert_allclose(fast, naive, atol=1e-10)
+
+    def test_non_negative(self, rng):
+        points = rng.standard_normal((2, 50, 3))
+        out = pairwise_sq_distances(points, points[:, :7])
+        assert (out >= 0).all()
+
+
+class TestBatchedKMeans:
+    def test_separated_clusters_recovered(self, rng):
+        centers = np.array([[0.0, 0.0], [10.0, 10.0], [-10.0, 5.0]])
+        points = np.concatenate([
+            centers[i] + 0.1 * rng.standard_normal((20, 2)) for i in range(3)
+        ])[None]
+        result = batched_kmeans(points, 3, n_iters=10, rng=rng)
+        # Each true cluster maps to exactly one k-means cluster.
+        for i in range(3):
+            block = result.assignments[0, i * 20 : (i + 1) * 20]
+            assert len(np.unique(block)) == 1
+        assert sorted(result.counts[0].tolist()) == [20, 20, 20]
+
+    def test_counts_sum_to_n(self, rng):
+        points = rng.standard_normal((4, 30, 3))
+        result = batched_kmeans(points, 6, rng=rng)
+        np.testing.assert_array_equal(result.counts.sum(axis=1), 30)
+
+    def test_assignments_are_nearest_center(self, rng):
+        points = rng.standard_normal((2, 40, 3))
+        result = batched_kmeans(points, 5, n_iters=3, rng=rng)
+        distances = pairwise_sq_distances(points, result.centers)
+        np.testing.assert_array_equal(result.assignments, distances.argmin(-1))
+
+    def test_radii_bound_all_members(self, rng):
+        points = rng.standard_normal((2, 40, 3))
+        result = batched_kmeans(points, 5, rng=rng)
+        for b in range(2):
+            member_centers = result.centers[b][result.assignments[b]]
+            dist = np.linalg.norm(points[b] - member_centers, axis=1)
+            cluster_radii = result.radii[b][result.assignments[b]]
+            assert (dist <= cluster_radii + 1e-9).all()
+
+    def test_more_iters_never_hurts_inertia_much(self, rng):
+        points = rng.standard_normal((1, 100, 4))
+        short = batched_kmeans(points, 8, n_iters=1, rng=np.random.default_rng(0))
+        long = batched_kmeans(points, 8, n_iters=20, rng=np.random.default_rng(0))
+        assert long.inertia[0] <= short.inertia[0] + 1e-9
+
+    def test_n_clusters_clipped_to_n(self, rng):
+        points = rng.standard_normal((1, 5, 2))
+        result = batched_kmeans(points, 100, rng=rng)
+        assert result.n_clusters == 5
+
+    def test_warm_start_used(self, rng):
+        points = rng.standard_normal((1, 20, 2))
+        init = points[:, :4].copy()
+        result = batched_kmeans(points, 4, n_iters=0, init_centers=init, rng=rng)
+        # 0 iterations still runs one assignment pass against given centers.
+        assert result.n_clusters == 4
+
+    def test_warm_start_shape_mismatch_raises(self, rng):
+        points = rng.standard_normal((1, 20, 2))
+        with pytest.raises(ShapeError):
+            batched_kmeans(points, 4, init_centers=np.zeros((1, 3, 2)), rng=rng)
+
+    def test_bad_ndim_raises(self, rng):
+        with pytest.raises(ShapeError):
+            batched_kmeans(rng.standard_normal((10, 2)), 2, rng=rng)
+
+    def test_kmeans_pp_init_shape(self, rng):
+        points = rng.standard_normal((3, 25, 4))
+        centers = kmeans_pp_init(points, 6, rng=rng)
+        assert centers.shape == (3, 6, 4)
+
+    def test_kmeans_pp_on_identical_points(self, rng):
+        points = np.ones((1, 10, 2))
+        centers = kmeans_pp_init(points, 3, rng=rng)
+        np.testing.assert_allclose(centers, 1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(5, 40),
+        k=st.integers(1, 6),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_every_point_assigned_to_nearest(self, n, k, seed):
+        rng = np.random.default_rng(seed)
+        points = rng.standard_normal((2, n, 3))
+        result = batched_kmeans(points, k, n_iters=2, rng=rng)
+        distances = pairwise_sq_distances(points, result.centers)
+        member = np.take_along_axis(distances, result.assignments[:, :, None], axis=2)[:, :, 0]
+        assert (member <= distances.min(axis=2) + 1e-9).all()

@@ -1,0 +1,100 @@
+"""Cluster merging: the halving heuristic and the Lemma 2 guarantee."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import (
+    apply_merges,
+    batched_kmeans,
+    count_mergeable,
+    find_mergeable,
+    merged_max_deviation,
+)
+
+
+def make_tight_clusters(rng, n_clusters=6, per_cluster=8, spread=0.01, scale=1.0):
+    """Clusters so tight that most are mergeable under a loose threshold."""
+    centers = rng.standard_normal((n_clusters, 3)) * scale
+    points = np.concatenate(
+        [centers[i] + spread * rng.standard_normal((per_cluster, 3)) for i in range(n_clusters)]
+    )
+    return points[None]
+
+
+class TestFindMergeable:
+    def test_tight_identical_clusters_merge(self, rng):
+        # All clusters at the same location -> everything in S2 mergeable.
+        points = np.tile(rng.standard_normal(3), (1, 40, 1)) + 1e-6
+        result = batched_kmeans(points, 8, n_iters=2, rng=rng)
+        plan = find_mergeable(result.centers, result.radii, result.counts, threshold=1.0)
+        assert plan.n_merged[0] == 8 - plan.s1_size
+
+    def test_distant_clusters_do_not_merge(self, rng):
+        centers = np.array([[0.0, 0], [100.0, 0], [0, 100.0], [100.0, 100.0]])
+        points = np.concatenate(
+            [c + 0.01 * rng.standard_normal((10, 2)) for c in centers]
+        )[None]
+        # Warm-start at the true centers so each cloud is one cluster
+        # (random init may split a cloud into two — legitimately mergeable).
+        result = batched_kmeans(
+            points, 4, n_iters=10, init_centers=centers[None].astype(float), rng=rng
+        )
+        plan = find_mergeable(result.centers, result.radii, result.counts, threshold=0.5)
+        assert plan.n_merged[0] == 0
+
+    def test_empty_clusters_always_mergeable(self, rng):
+        centers = rng.standard_normal((1, 4, 2)) * 100
+        radii = np.zeros((1, 4))
+        counts = np.array([[10, 10, 0, 0]])
+        plan = find_mergeable(centers, radii, counts, threshold=1e-9)
+        assert plan.n_merged[0] == 2  # the two empty S2 clusters
+
+    def test_single_cluster_nothing_to_merge(self, rng):
+        plan = find_mergeable(rng.standard_normal((1, 1, 2)), np.zeros((1, 1)),
+                              np.array([[5]]), threshold=10.0)
+        assert plan.n_merged[0] == 0
+
+    def test_count_matches_plan(self, rng):
+        points = make_tight_clusters(rng)
+        result = batched_kmeans(points, 6, n_iters=10, rng=rng)
+        threshold = 0.5
+        plan = find_mergeable(result.centers, result.radii, result.counts, threshold)
+        counts = count_mergeable(result.centers, result.radii, result.counts, threshold)
+        np.testing.assert_array_equal(counts, plan.n_merged)
+
+
+class TestLemma2Guarantee:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), threshold=st.floats(0.2, 2.0))
+    def test_merged_clusters_stay_within_threshold(self, seed, threshold):
+        """After applying the detected merges, every point is within ``d``
+        of its (new) centroid — Lemma 2's conclusion.
+
+        Lemma 2's premise requires the *input* grouping to satisfy the
+        bound already (every radius <= d), so runs where K-means fused two
+        clouds into an oversized cluster are skipped via ``assume``.
+        """
+        from hypothesis import assume
+
+        rng = np.random.default_rng(seed)
+        points = make_tight_clusters(rng, n_clusters=6, spread=0.02)
+        result = batched_kmeans(points, 6, n_iters=10, rng=rng)
+        assume(float(result.radii.max()) <= threshold)
+        plan = find_mergeable(result.centers, result.radii, result.counts, threshold)
+        merged = apply_merges(result.assignments, plan)
+        deviation = merged_max_deviation(points, merged, n_clusters=6)
+        assert deviation[0] <= threshold + 1e-9
+
+    def test_apply_merges_reassigns_marked_only(self, rng):
+        points = make_tight_clusters(rng, n_clusters=4, spread=0.01)
+        result = batched_kmeans(points, 4, n_iters=10, rng=rng)
+        plan = find_mergeable(result.centers, result.radii, result.counts, threshold=100.0)
+        merged = apply_merges(result.assignments, plan)
+        # Marked S2 ids must vanish; S1 ids must be preserved.
+        for j in np.nonzero(plan.marked[0])[0]:
+            assert (merged[0] != plan.s1_size + j).all()
+        unmarked_mask = np.isin(result.assignments[0], np.arange(plan.s1_size))
+        np.testing.assert_array_equal(
+            merged[0][unmarked_mask], result.assignments[0][unmarked_mask]
+        )

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(autouse=True)
+def _seed_global():
+    """Make the process-global RNG deterministic for every test."""
+    repro.seed_all(777)
+    yield
+
+
+@pytest.fixture(scope="session")
+def tiny_har_bundle():
+    """A tiny WISDM-style bundle shared by model/task/integration tests."""
+    return repro.load_dataset(
+        "wisdm", size_scale=0.002, length_scale=0.25,
+        rng=np.random.default_rng(99),
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_rita_config(tiny_har_bundle):
+    return repro.RitaConfig(
+        input_channels=tiny_har_bundle.channels,
+        max_len=tiny_har_bundle.length,
+        dim=16,
+        n_heads=2,
+        n_layers=2,
+        attention="group",
+        n_groups=8,
+        dropout=0.0,
+        n_classes=tiny_har_bundle.n_classes,
+    )

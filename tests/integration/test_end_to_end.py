@@ -1,0 +1,138 @@
+"""End-to-end integration: the paper's experimental logic at smoke scale."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data import Scaler
+from repro.experiments import (
+    SMOKE,
+    build_model,
+    method_display_name,
+    paper_scale_oom,
+    run_classification,
+    run_imputation,
+)
+from repro.scheduler import AdaptiveScheduler
+from repro.tasks import ClassificationTask, ImputationTask, PretrainTask
+from repro.train import Trainer, evaluate_task
+
+
+class TestOOMReproduction:
+    """The Table 2 / Fig. 4 'N/A' pattern at paper geometry."""
+
+    def test_vanilla_and_tst_oom_on_mgh(self):
+        assert paper_scale_oom("vanilla", "mgh")
+        assert paper_scale_oom("tst", "mgh")
+
+    def test_efficient_methods_fit_mgh(self):
+        assert not paper_scale_oom("group", "mgh")
+        assert not paper_scale_oom("performer", "mgh")
+        assert not paper_scale_oom("linformer", "mgh")
+
+    def test_everything_fits_short_datasets(self):
+        for dataset in ["wisdm", "hhar", "rwhar", "ecg"]:
+            for method in ["tst", "vanilla", "performer", "linformer", "group"]:
+                assert not paper_scale_oom(method, dataset), (method, dataset)
+
+
+class TestClassificationPipeline:
+    def test_all_methods_learn_above_chance(self):
+        rows = run_classification("hhar", scale=SMOKE.with_(epochs=4), seed=1)
+        chance = 1.0 / 5
+        by_method = {r["method"]: r for r in rows}
+        assert len(by_method) == 5
+        # Group attention must be trainable well above chance.
+        assert by_method["Group Attn."]["accuracy"] > chance
+
+    def test_rows_have_timing(self):
+        rows = run_classification("hhar", scale=SMOKE, methods=["group"], seed=2)
+        assert rows[0]["epoch_seconds"] > 0
+
+
+class TestImputationPipeline:
+    def test_mgh_has_oom_rows(self):
+        rows = run_imputation("mgh", scale=SMOKE, seed=1)
+        notes = {r["method"]: r["note"] for r in rows}
+        assert notes["Vanilla"] == "N/A (OOM)"
+        assert notes["TST"] == "N/A (OOM)"
+        assert notes["Group Attn."] == ""
+        group_row = next(r for r in rows if r["method"] == "Group Attn.")
+        assert group_row["mse"] is not None and group_row["mse"] >= 0
+
+    def test_imputation_mse_improves_with_training(self, rng):
+        bundle = repro.load_dataset("hhar", size_scale=0.002, length_scale=0.25, rng=rng)
+        scaler = Scaler.fit(bundle.train.arrays["x"])
+        model = build_model("group", bundle, SMOKE, rng=rng, with_classifier=False)
+        task = ImputationTask(scaler, mask_rate=0.2, rng=rng)
+        before = evaluate_task(model, task, bundle.valid)["mse"]
+        trainer = Trainer(model, task, repro.AdamW(model.parameters(), lr=3e-3))
+        trainer.fit(bundle.train, epochs=4, batch_size=16, rng=rng)
+        after = evaluate_task(model, task, bundle.valid)["mse"]
+        assert after < before
+
+
+class TestPretrainingHelps:
+    def test_pretrained_finetune_at_least_matches_scratch(self):
+        """Table 3's qualitative claim: pretraining does not hurt and
+        usually helps few-label accuracy (checked with a margin at smoke
+        scale to absorb noise)."""
+        seed = 3
+        rng = np.random.default_rng(seed)
+        bundle = repro.load_dataset(
+            "hhar", size_scale=0.004, length_scale=0.25, rng=rng, with_pretrain=True,
+        )
+        scaler = Scaler.fit(bundle.train.arrays["x"])
+        few = bundle.train.per_class_subset(6, rng=np.random.default_rng(seed))
+
+        def train_classifier(model):
+            trainer = Trainer(model, ClassificationTask(), repro.AdamW(model.parameters(), lr=2e-3))
+            history = trainer.fit(
+                few, epochs=5, batch_size=8, val_dataset=bundle.valid,
+                rng=np.random.default_rng(seed + 1),
+            )
+            return history.best("accuracy")
+
+        scratch_model = build_model("group", bundle, SMOKE, rng=np.random.default_rng(seed))
+        scratch_acc = train_classifier(scratch_model)
+
+        pre_model = build_model("group", bundle, SMOKE, rng=np.random.default_rng(seed))
+        pre_task = PretrainTask(scaler, mask_rate=0.2, rng=np.random.default_rng(seed))
+        Trainer(pre_model, pre_task, repro.AdamW(pre_model.parameters(), lr=2e-3)).fit(
+            bundle.pretrain, epochs=3, batch_size=16, rng=np.random.default_rng(seed + 2)
+        )
+        pre_acc = train_classifier(pre_model)
+        assert pre_acc >= scratch_acc - 0.15
+
+
+class TestAdaptiveSchedulerEndToEnd:
+    def test_groups_shrink_during_real_training(self, rng):
+        bundle = repro.load_dataset("wisdm", size_scale=0.002, length_scale=0.3, rng=rng)
+        model = build_model("group", bundle, SMOKE.with_(n_groups=24), rng=rng)
+        scheduler = AdaptiveScheduler.for_model(
+            model, repro.AdaptiveSchedulerConfig(epsilon=3.0, momentum=0.8, aggregate="mean")
+        )
+        trainer = Trainer(
+            model, ClassificationTask(), repro.AdamW(model.parameters(), lr=1e-3),
+            adaptive_scheduler=scheduler,
+        )
+        trainer.fit(bundle.train, epochs=2, batch_size=16, rng=rng)
+        # At least the history was populated and N stayed within bounds.
+        assert all(n <= 24 for n in scheduler.current_groups)
+        assert all(len(h) > 1 for h in scheduler.history)
+
+
+class TestEmbeddingDownstream:
+    def test_embeddings_support_knn_classification(self, rng):
+        """A.7.4: embeddings feed unsupervised/similarity downstream tasks."""
+        from repro.baselines import KNNClassifier
+
+        bundle = repro.load_dataset("hhar", size_scale=0.004, length_scale=0.25, rng=rng)
+        model = build_model("group", bundle, SMOKE, rng=rng)
+        trainer = Trainer(model, ClassificationTask(), repro.AdamW(model.parameters(), lr=2e-3))
+        trainer.fit(bundle.train, epochs=3, batch_size=16, rng=rng)
+        train_emb = repro.extract_embeddings(model, bundle.train)
+        valid_emb = repro.extract_embeddings(model, bundle.valid)
+        knn = KNNClassifier(k=3).fit(train_emb, bundle.train.arrays["y"])
+        accuracy = knn.score(valid_emb, bundle.valid.arrays["y"])
+        assert accuracy > 1.0 / 5

@@ -1,0 +1,143 @@
+"""Linear, Conv modules, LayerNorm, BatchNorm, Dropout, Embedding, positions."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, gradcheck
+from repro.errors import ShapeError
+
+
+class TestLinear:
+    def test_shapes(self, rng):
+        layer = nn.Linear(4, 7, rng=rng)
+        assert layer(Tensor(rng.standard_normal((5, 4)))).shape == (5, 7)
+
+    def test_batched_inputs(self, rng):
+        layer = nn.Linear(4, 7, rng=rng)
+        assert layer(Tensor(rng.standard_normal((2, 3, 4)))).shape == (2, 3, 7)
+
+    def test_no_bias(self, rng):
+        layer = nn.Linear(4, 7, bias=False, rng=rng)
+        assert layer.bias is None
+        zero_out = layer(Tensor(np.zeros((1, 4))))
+        np.testing.assert_allclose(zero_out.data, 0.0)
+
+    def test_gradcheck(self, rng):
+        layer = nn.Linear(3, 2, rng=rng)
+        x = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        assert gradcheck(lambda v: layer(v), [x])
+
+
+class TestConvModules:
+    def test_conv_same_length(self, rng):
+        conv = nn.Conv1d(3, 8, kernel_size=5, padding=2, rng=rng)
+        out = conv(Tensor(rng.standard_normal((2, 3, 16))))
+        assert out.shape == (2, 8, 16)
+
+    def test_transpose_restores_length(self, rng):
+        conv = nn.Conv1d(3, 8, kernel_size=5, padding=2, rng=rng)
+        deconv = nn.ConvTranspose1d(8, 3, kernel_size=5, padding=2, rng=rng)
+        x = Tensor(rng.standard_normal((2, 3, 16)))
+        assert deconv(conv(x)).shape == x.shape
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dim(self, rng):
+        ln = nn.LayerNorm(8)
+        out = ln(Tensor(rng.standard_normal((4, 8)) * 10 + 5))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_affine_params_applied(self, rng):
+        ln = nn.LayerNorm(4)
+        ln.weight.data[:] = 2.0
+        ln.bias.data[:] = 1.0
+        out = ln(Tensor(rng.standard_normal((3, 4))))
+        assert out.data.mean() == pytest.approx(1.0, abs=0.2)
+
+    def test_wrong_size_raises(self, rng):
+        with pytest.raises(ShapeError):
+            nn.LayerNorm(8)(Tensor(rng.standard_normal((2, 4))))
+
+    def test_gradcheck(self, rng):
+        ln = nn.LayerNorm(5)
+        x = Tensor(rng.standard_normal((3, 5)), requires_grad=True)
+        assert gradcheck(lambda v: ln(v), [x])
+
+
+class TestBatchNorm:
+    def test_training_normalizes_channels(self, rng):
+        bn = nn.BatchNorm1d(4)
+        x = Tensor(rng.standard_normal((64, 4)) * 3 + 2)
+        out = bn(x)
+        np.testing.assert_allclose(out.data.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(out.data.std(axis=0), 1.0, atol=1e-2)
+
+    def test_three_dim_input(self, rng):
+        bn = nn.BatchNorm1d(4)
+        out = bn(Tensor(rng.standard_normal((8, 4, 10))))
+        assert out.shape == (8, 4, 10)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2)), 0.0, atol=1e-9)
+
+    def test_running_stats_update_and_eval(self, rng):
+        bn = nn.BatchNorm1d(2, momentum=0.5)
+        x = rng.standard_normal((100, 2)) + 3.0
+        bn(Tensor(x))
+        assert (bn.running_mean > 0.5).all()
+        bn.eval()
+        out = bn(Tensor(x))
+        # Eval uses running stats, not exact batch stats.
+        assert abs(out.data.mean()) < 3.0
+
+    def test_wrong_channels_raises(self, rng):
+        with pytest.raises(ShapeError):
+            nn.BatchNorm1d(4)(Tensor(rng.standard_normal((2, 5))))
+
+    def test_wrong_ndim_raises(self, rng):
+        with pytest.raises(ShapeError):
+            nn.BatchNorm1d(4)(Tensor(rng.standard_normal((2, 4, 3, 3))))
+
+
+class TestDropoutModule:
+    def test_train_drops_eval_does_not(self, rng):
+        drop = nn.Dropout(0.5, rng=rng)
+        x = Tensor(np.ones((50, 50)))
+        out_train = drop(x)
+        assert (out_train.data == 0).any()
+        drop.eval()
+        out_eval = drop(x)
+        np.testing.assert_allclose(out_eval.data, 1.0)
+
+
+class TestEmbeddings:
+    def test_embedding_lookup_shape(self, rng):
+        emb = nn.Embedding(10, 6, rng=rng)
+        out = emb(np.array([[0, 1], [2, 3]]))
+        assert out.shape == (2, 2, 6)
+
+    def test_sinusoidal_table_structure(self):
+        table = nn.sinusoidal_table(50, 8)
+        assert table.shape == (50, 8)
+        np.testing.assert_allclose(table[0, 0::2], 0.0, atol=1e-12)  # sin(0)
+        np.testing.assert_allclose(table[0, 1::2], 1.0, atol=1e-12)  # cos(0)
+        assert (np.abs(table) <= 1.0 + 1e-12).all()
+
+    def test_sinusoidal_encoding_adds(self, rng):
+        pe = nn.SinusoidalPositionalEncoding(20, 8)
+        x = rng.standard_normal((2, 10, 8))
+        out = pe(Tensor(x))
+        np.testing.assert_allclose(out.data - x, np.broadcast_to(pe._table[:10], (2, 10, 8)))
+
+    def test_learned_positions_trainable(self, rng):
+        pe = nn.LearnedPositionalEmbedding(20, 8, rng=rng)
+        x = Tensor(rng.standard_normal((2, 10, 8)), requires_grad=True)
+        pe(x).sum().backward()
+        assert pe.weight.grad is not None
+        assert np.abs(pe.weight.grad[:10]).sum() > 0
+        np.testing.assert_allclose(pe.weight.grad[10:], 0.0)
+
+    def test_too_long_sequence_raises(self, rng):
+        pe = nn.LearnedPositionalEmbedding(5, 8, rng=rng)
+        with pytest.raises(ShapeError):
+            pe(Tensor(rng.standard_normal((1, 6, 8))))

@@ -1,0 +1,91 @@
+"""Loss functions."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor, gradcheck
+from repro.errors import ShapeError
+
+
+class TestCrossEntropy:
+    def test_matches_manual_computation(self, rng):
+        logits = rng.standard_normal((4, 3))
+        targets = np.array([0, 2, 1, 0])
+        loss = nn.CrossEntropyLoss()(Tensor(logits), targets)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        expected = -log_probs[np.arange(4), targets].mean()
+        assert loss.item() == pytest.approx(expected)
+
+    def test_perfect_prediction_near_zero(self):
+        logits = np.full((2, 3), -100.0)
+        logits[0, 1] = 100.0
+        logits[1, 0] = 100.0
+        loss = nn.CrossEntropyLoss()(Tensor(logits), np.array([1, 0]))
+        assert loss.item() == pytest.approx(0.0, abs=1e-9)
+
+    def test_uniform_prediction_is_log_c(self):
+        logits = np.zeros((5, 4))
+        loss = nn.CrossEntropyLoss()(Tensor(logits), np.zeros(5, dtype=int))
+        assert loss.item() == pytest.approx(np.log(4))
+
+    def test_gradient(self, rng):
+        logits = Tensor(rng.standard_normal((4, 3)), requires_grad=True)
+        targets = np.array([0, 2, 1, 0])
+        assert gradcheck(lambda v: nn.CrossEntropyLoss()(v, targets), [logits])
+
+    def test_wrong_target_shape_raises(self, rng):
+        with pytest.raises(ShapeError):
+            nn.CrossEntropyLoss()(Tensor(rng.standard_normal((4, 3))), np.zeros(5, dtype=int))
+
+    def test_wrong_logits_ndim_raises(self, rng):
+        with pytest.raises(ShapeError):
+            nn.CrossEntropyLoss()(Tensor(rng.standard_normal((4, 3, 2))), np.zeros(4, dtype=int))
+
+
+class TestMSE:
+    def test_value(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((3, 4))
+        loss = nn.MSELoss()(Tensor(a), b)
+        assert loss.item() == pytest.approx(((a - b) ** 2).mean())
+
+    def test_gradient(self, rng):
+        target = rng.standard_normal((3, 4))
+        pred = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        assert gradcheck(lambda v: nn.MSELoss()(v, target), [pred])
+
+
+class TestMaskedMSE:
+    def test_only_masked_positions_count(self, rng):
+        pred = rng.standard_normal((2, 5, 3))
+        target = pred.copy()
+        mask = np.zeros((2, 5, 3), dtype=bool)
+        mask[0, 1, :] = True
+        target[0, 1, :] += 2.0  # error of 2 at masked positions only
+        target[1, 3, :] += 100.0  # unmasked error must be ignored
+        loss = nn.MaskedMSELoss()(Tensor(pred), target, mask)
+        assert loss.item() == pytest.approx(4.0)
+
+    def test_empty_mask_raises(self, rng):
+        with pytest.raises(ShapeError):
+            nn.MaskedMSELoss()(
+                Tensor(rng.standard_normal((1, 3, 2))),
+                rng.standard_normal((1, 3, 2)),
+                np.zeros((1, 3, 2), dtype=bool),
+            )
+
+    def test_gradient_restricted_to_mask(self, rng):
+        pred = Tensor(rng.standard_normal((1, 4, 2)), requires_grad=True)
+        target = rng.standard_normal((1, 4, 2))
+        mask = np.zeros((1, 4, 2), dtype=bool)
+        mask[0, :2, :] = True
+        nn.MaskedMSELoss()(pred, target, mask).backward()
+        np.testing.assert_allclose(pred.grad[~mask], 0.0)
+        assert np.abs(pred.grad[mask]).sum() > 0
+
+
+class TestL1:
+    def test_value(self, rng):
+        a, b = rng.standard_normal((3, 4)), rng.standard_normal((3, 4))
+        assert nn.L1Loss()(Tensor(a), b).item() == pytest.approx(np.abs(a - b).mean())

@@ -1,0 +1,119 @@
+"""Module system: registration, traversal, modes, state dicts."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigError
+from repro.nn.module import Module, Parameter
+
+
+class Toy(Module):
+    def __init__(self):
+        super().__init__()
+        self.w = Parameter(np.ones((2, 2)))
+        self.child = nn.Linear(2, 3)
+
+    def forward(self, x):
+        return self.child(x @ self.w)
+
+
+class TestRegistration:
+    def test_parameters_collected_recursively(self):
+        toy = Toy()
+        names = dict(toy.named_parameters())
+        assert "w" in names
+        assert "child.weight" in names
+        assert "child.bias" in names
+
+    def test_parameters_deduplicated(self):
+        toy = Toy()
+        toy.alias = toy.child  # same module twice
+        params = toy.parameters()
+        assert len(params) == len({id(p) for p in params})
+
+    def test_num_parameters(self):
+        toy = Toy()
+        assert toy.num_parameters() == 4 + 6 + 3
+
+    def test_parameter_requires_grad_even_in_no_grad(self):
+        from repro.autograd import no_grad
+        with no_grad():
+            p = Parameter(np.ones(3))
+        assert p.requires_grad
+
+    def test_modules_iterates_tree(self):
+        toy = Toy()
+        kinds = [type(m).__name__ for m in toy.modules()]
+        assert "Toy" in kinds and "Linear" in kinds
+
+
+class TestModes:
+    def test_train_eval_recursive(self):
+        toy = Toy()
+        toy.eval()
+        assert not toy.training and not toy.child.training
+        toy.train()
+        assert toy.training and toy.child.training
+
+    def test_zero_grad_clears_all(self):
+        toy = Toy()
+        from repro.autograd import Tensor
+        toy(Tensor(np.ones((1, 2)))).sum().backward()
+        assert any(p.grad is not None for p in toy.parameters())
+        toy.zero_grad()
+        assert all(p.grad is None for p in toy.parameters())
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a, b = Toy(), Toy()
+        b.load_state_dict(a.state_dict())
+        for (_, pa), (_, pb) in zip(a.named_parameters(), b.named_parameters()):
+            np.testing.assert_allclose(pa.data, pb.data)
+
+    def test_state_dict_is_a_copy(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["w"][:] = 99.0
+        assert not (toy.w.data == 99.0).any()
+
+    def test_missing_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        del state["w"]
+        with pytest.raises(ConfigError):
+            toy.load_state_dict(state)
+
+    def test_unexpected_key_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["ghost"] = np.zeros(1)
+        with pytest.raises(ConfigError):
+            toy.load_state_dict(state)
+
+    def test_shape_mismatch_raises(self):
+        toy = Toy()
+        state = toy.state_dict()
+        state["w"] = np.zeros((3, 3))
+        with pytest.raises(ConfigError):
+            toy.load_state_dict(state)
+
+
+class TestContainers:
+    def test_sequential_applies_in_order(self, rng):
+        from repro.autograd import Tensor
+        seq = nn.Sequential(nn.Linear(4, 8, rng=rng), nn.ReLU(), nn.Linear(8, 2, rng=rng))
+        out = seq(Tensor(rng.standard_normal((3, 4))))
+        assert out.shape == (3, 2)
+
+    def test_modulelist_registers_children(self, rng):
+        ml = nn.ModuleList([nn.Linear(2, 2, rng=rng) for _ in range(3)])
+        assert len(ml) == 3
+        assert len(list(ml)) == 3
+        assert ml[1] is list(ml)[1]
+        assert sum(p.size for p in ml.parameters()) == 3 * (4 + 2)
+
+    def test_modulelist_not_callable(self):
+        with pytest.raises(NotImplementedError):
+            nn.ModuleList([]).forward()

@@ -1,0 +1,52 @@
+"""Learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.optim import SGD, CosineAnnealingLR, LinearWarmup, StepLR
+
+
+def make_opt(lr=1.0):
+    return SGD([Parameter(np.zeros(1))], lr=lr)
+
+
+class TestStepLR:
+    def test_decays_at_boundaries(self):
+        opt = make_opt(1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = []
+        for _ in range(6):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == pytest.approx([1.0, 0.1, 0.1, 0.01, 0.01, 0.001])
+
+
+class TestCosine:
+    def test_endpoints(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=10, min_lr=0.1)
+        assert sched.get_lr(0) == pytest.approx(1.0)
+        assert sched.get_lr(10) == pytest.approx(0.1)
+        assert sched.get_lr(5) == pytest.approx(0.55)
+
+    def test_monotone_decreasing(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=20)
+        values = [sched.get_lr(e) for e in range(21)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_clamps_past_t_max(self):
+        opt = make_opt(1.0)
+        sched = CosineAnnealingLR(opt, t_max=5, min_lr=0.2)
+        assert sched.get_lr(50) == pytest.approx(0.2)
+
+
+class TestWarmup:
+    def test_ramps_linearly(self):
+        opt = make_opt(2.0)
+        sched = LinearWarmup(opt, warmup_epochs=4)
+        assert sched.get_lr(1) == pytest.approx(0.5)
+        assert sched.get_lr(2) == pytest.approx(1.0)
+        assert sched.get_lr(4) == pytest.approx(2.0)
+        assert sched.get_lr(10) == pytest.approx(2.0)

@@ -1,0 +1,130 @@
+"""Optimizers: convergence, momentum, decoupled weight decay, clipping."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.autograd import Tensor
+from repro.nn.module import Parameter
+from repro.optim import SGD, Adam, AdamW
+from repro.optim.optimizer import Optimizer
+
+
+def quadratic_loss(p: Parameter):
+    return ((p - 3.0) * (p - 3.0)).sum()
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3))
+        opt = SGD([p], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-3)
+
+    def test_momentum_accelerates(self):
+        def run(momentum):
+            p = Parameter(np.zeros(1))
+            opt = SGD([p], lr=0.01, momentum=momentum)
+            for _ in range(50):
+                opt.zero_grad()
+                quadratic_loss(p).backward()
+                opt.step()
+            return abs(float(p.data[0]) - 3.0)
+
+        assert run(0.9) < run(0.0)
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = Parameter(np.ones(1) * 5)
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        for _ in range(100):
+            opt.zero_grad()
+            # zero loss gradient: decay alone should shrink the weight
+            p.grad = np.zeros(1)
+            opt.step()
+        assert abs(float(p.data[0])) < 0.01
+
+    def test_skips_parameters_without_grad(self):
+        p, q = Parameter(np.zeros(1)), Parameter(np.ones(1))
+        opt = SGD([p, q], lr=0.1)
+        p.grad = np.ones(1)
+        opt.step()
+        assert float(q.data[0]) == 1.0
+        assert float(p.data[0]) != 0.0
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.zeros(3))
+        opt = Adam([p], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            quadratic_loss(p).backward()
+            opt.step()
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-2)
+
+    def test_bias_correction_first_step(self):
+        # With bias correction the very first Adam step is ~lr in magnitude.
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=0.5)
+        p.grad = np.ones(1) * 10.0
+        opt.step()
+        assert abs(float(p.data[0]) + 0.5) < 1e-6
+
+
+class TestAdamW:
+    def test_decoupled_decay_is_not_adaptive(self):
+        """AdamW decay must be applied outside the adaptive rescaling.
+
+        With a huge gradient, Adam's L2-style decay gets normalized away,
+        while AdamW's decoupled decay shrinks the weight by lr*wd exactly.
+        """
+        p = Parameter(np.ones(1) * 10.0)
+        opt = AdamW([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(1)
+        opt.step()
+        # update = 0 (m=0) + decoupled decay lr*wd*w = 0.1*0.5*10 = 0.5
+        assert float(p.data[0]) == pytest.approx(9.5)
+
+    def test_paper_defaults(self):
+        p = Parameter(np.zeros(1))
+        opt = AdamW([p])
+        assert opt.lr == pytest.approx(1e-4)
+        assert opt.weight_decay == pytest.approx(1e-4)
+
+    def test_trains_small_network(self, rng):
+        model = nn.Sequential(nn.Linear(2, 16, rng=rng), nn.Tanh(), nn.Linear(16, 1, rng=rng))
+        opt = AdamW(model.parameters(), lr=1e-2, weight_decay=0.0)
+        x = rng.standard_normal((32, 2))
+        y = (x[:, :1] * 2 - x[:, 1:] * 0.5)
+        loss_fn = nn.MSELoss()
+        first = None
+        for i in range(200):
+            opt.zero_grad()
+            loss = loss_fn(model(Tensor(x)), y)
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.05
+
+
+class TestClipGradNorm:
+    def test_scales_down_when_over(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.ones(4) * 10.0  # norm = 20
+        total = Optimizer.clip_grad_norm([p], max_norm=1.0)
+        assert total == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_leaves_small_gradients(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.ones(4) * 0.1
+        Optimizer.clip_grad_norm([p], max_norm=10.0)
+        np.testing.assert_allclose(p.grad, 0.1)

@@ -1,0 +1,139 @@
+"""Adaptive scheduler: Lemma-1 translation, monotone N, momentum, history."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.attention import GroupAttention
+from repro.autograd import Tensor
+from repro.errors import ConfigError
+from repro.scheduler import AdaptiveScheduler, AdaptiveSchedulerConfig, error_bound_to_distance
+
+
+def tight_cluster_inputs(rng, n=32, n_true=4, spread=0.001, scale=0.2):
+    centers = rng.standard_normal((n_true, 3)) * scale
+    keys = np.repeat(centers, n // n_true, axis=0) + spread * rng.standard_normal((n, 3))
+    q = Tensor(rng.standard_normal((1, 1, n, 3)))
+    k = Tensor(keys[None, None])
+    v = Tensor(rng.standard_normal((1, 1, n, 3)))
+    return q, k, v
+
+
+class TestErrorBoundTranslation:
+    def test_formula(self):
+        assert error_bound_to_distance(2.0, 1.0) == pytest.approx(math.log(2.0) / 2.0)
+        assert error_bound_to_distance(math.e, 0.5) == pytest.approx(1.0)
+
+    def test_larger_eps_larger_distance(self):
+        assert error_bound_to_distance(3.0, 1.0) > error_bound_to_distance(1.5, 1.0)
+
+    def test_larger_radius_smaller_distance(self):
+        assert error_bound_to_distance(2.0, 4.0) < error_bound_to_distance(2.0, 1.0)
+
+    def test_eps_must_exceed_one(self):
+        with pytest.raises(ConfigError):
+            error_bound_to_distance(1.0, 1.0)
+
+    def test_zero_radius_gives_infinity(self):
+        assert error_bound_to_distance(2.0, 0.0) == math.inf
+
+
+class TestConfigValidation:
+    def test_bad_epsilon(self):
+        with pytest.raises(ConfigError):
+            AdaptiveSchedulerConfig(epsilon=0.9)
+
+    def test_bad_momentum(self):
+        with pytest.raises(ConfigError):
+            AdaptiveSchedulerConfig(momentum=0.0)
+
+    def test_bad_aggregate(self):
+        with pytest.raises(ConfigError):
+            AdaptiveSchedulerConfig(aggregate="median")
+
+    def test_needs_group_layers(self):
+        with pytest.raises(ConfigError):
+            AdaptiveScheduler([])
+
+
+class TestSchedulerBehaviour:
+    def test_n_decreases_on_tight_clusters(self, rng):
+        layer = GroupAttention(n_groups=16, kmeans_iters=8, rng=rng)
+        scheduler = AdaptiveScheduler([layer], AdaptiveSchedulerConfig(epsilon=2.0, momentum=1.0))
+        q, k, v = tight_cluster_inputs(rng)
+        for _ in range(6):
+            layer(q, k, v)
+            scheduler.step()
+        assert layer.n_groups < 16
+
+    def test_n_never_increases(self, rng):
+        layer = GroupAttention(n_groups=12, kmeans_iters=4, rng=rng)
+        scheduler = AdaptiveScheduler([layer], AdaptiveSchedulerConfig(epsilon=3.0, momentum=0.8))
+        q, k, v = tight_cluster_inputs(rng)
+        previous = layer.n_groups
+        for _ in range(8):
+            layer(q, k, v)
+            scheduler.step()
+            assert layer.n_groups <= previous
+            previous = layer.n_groups
+
+    def test_min_groups_floor(self, rng):
+        layer = GroupAttention(n_groups=16, kmeans_iters=8, rng=rng)
+        scheduler = AdaptiveScheduler(
+            [layer], AdaptiveSchedulerConfig(epsilon=10.0, momentum=1.0, min_groups=5)
+        )
+        q, k, v = tight_cluster_inputs(rng)
+        for _ in range(10):
+            layer(q, k, v)
+            scheduler.step()
+        assert layer.n_groups >= 5
+
+    def test_momentum_smooths_updates(self, rng):
+        def final_n(momentum):
+            layer = GroupAttention(n_groups=16, kmeans_iters=8, rng=np.random.default_rng(0))
+            scheduler = AdaptiveScheduler(
+                [layer], AdaptiveSchedulerConfig(epsilon=2.0, momentum=momentum)
+            )
+            q, k, v = tight_cluster_inputs(np.random.default_rng(1))
+            layer(q, k, v)
+            scheduler.step()
+            return layer.n_groups
+
+        assert final_n(0.2) >= final_n(1.0)
+
+    def test_no_stats_is_noop(self, rng):
+        layer = GroupAttention(n_groups=8, rng=rng)
+        scheduler = AdaptiveScheduler([layer])
+        scheduler.step()
+        assert layer.n_groups == 8
+
+    def test_history_and_mean_groups(self, rng):
+        layer = GroupAttention(n_groups=16, kmeans_iters=8, rng=rng)
+        scheduler = AdaptiveScheduler([layer], AdaptiveSchedulerConfig(momentum=1.0))
+        q, k, v = tight_cluster_inputs(rng)
+        for _ in range(3):
+            layer(q, k, v)
+            scheduler.step()
+        assert scheduler.history[0][0] == 16
+        assert len(scheduler.history[0]) == 4
+        assert scheduler.mean_groups() == pytest.approx(layer.n_groups)
+
+    def test_update_every_skips_steps(self, rng):
+        layer = GroupAttention(n_groups=16, kmeans_iters=8, rng=rng)
+        scheduler = AdaptiveScheduler(
+            [layer], AdaptiveSchedulerConfig(momentum=1.0, update_every=3)
+        )
+        q, k, v = tight_cluster_inputs(rng)
+        layer(q, k, v)
+        scheduler.step()
+        scheduler.step()
+        assert layer.n_groups == 16  # steps 1, 2: skipped
+        scheduler.step()
+        assert layer.n_groups < 16  # step 3: applied
+
+    def test_for_model_collects_layers(self, rng, tiny_rita_config):
+        from repro.model import RitaModel
+        model = RitaModel(tiny_rita_config, rng=rng)
+        scheduler = AdaptiveScheduler.for_model(model)
+        assert len(scheduler.layers) == tiny_rita_config.n_layers

@@ -1,0 +1,147 @@
+"""Batch-size predictor: binary search (Alg. 2), plane division (Alg. 3)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.scheduler.batchsize import (
+    BatchSizePredictor,
+    binary_search_batch_size,
+    divide_plane,
+    fit_best_function,
+    sample_plane,
+)
+from repro.simgpu import MemoryModel
+
+
+@pytest.fixture
+def memory_model():
+    return MemoryModel(dim=32, n_heads=2, n_layers=2, ffn_dim=128)
+
+
+class TestBinarySearch:
+    def test_matches_closed_form(self, memory_model):
+        capacity = 64 * 1024 * 1024
+        for length in [50, 200, 1000]:
+            for groups in [4, 32]:
+                searched = binary_search_batch_size(
+                    lambda b: memory_model.step_bytes("group", b, length, n_groups=groups),
+                    capacity,
+                )
+                closed = memory_model.max_batch_size("group", length, capacity, n_groups=groups)
+                assert searched == min(closed, 4096)
+
+    def test_returns_zero_when_nothing_fits(self, memory_model):
+        result = binary_search_batch_size(
+            lambda b: memory_model.step_bytes("vanilla", b, 100_000), capacity=1024
+        )
+        assert result == 0
+
+    def test_respects_max_batch(self):
+        result = binary_search_batch_size(lambda b: b, capacity=10**9, max_batch=7)
+        assert result == 7
+
+    def test_utilization_fraction(self):
+        # memory_fn(b) = b bytes; capacity 100; 90% budget -> 90.
+        assert binary_search_batch_size(lambda b: b, capacity=100, utilization=0.9) == 90
+
+    def test_invalid_capacity_raises(self):
+        with pytest.raises(ConfigError):
+            binary_search_batch_size(lambda b: b, capacity=0)
+
+
+class TestSamplePlane:
+    def test_constraints_hold(self, rng):
+        points = sample_plane(500, 200, rng=rng)
+        lengths, groups = points[:, 0], points[:, 1]
+        assert (lengths >= 1).all() and (lengths <= 500).all()
+        assert (groups >= 1).all() and (groups <= lengths).all()
+
+    def test_log_uniform_covers_small_lengths(self, rng):
+        points = sample_plane(10_000, 300, rng=rng)
+        assert (points[:, 0] < 100).sum() > 30
+
+
+class TestFunctionFitting:
+    def test_recovers_reciprocal_relation(self):
+        lengths = np.array([10, 20, 50, 100, 200, 400, 100, 50], dtype=float)
+        groups = np.array([5, 10, 25, 50, 10, 20, 5, 40], dtype=float)
+        truth = 1.0 / (1e-4 * lengths * groups + 1e-3 * lengths + 1e-2)
+        fit = fit_best_function(lengths, groups, truth)
+        predictions = np.array([fit(l, g) for l, g in zip(lengths, groups)])
+        assert np.abs(predictions - truth).max() / truth.max() < 0.05
+
+    def test_constant_fallback_on_degenerate_data(self):
+        lengths = np.array([5.0, 5.0, 5.0])
+        groups = np.array([2.0, 2.0, 2.0])
+        batches = np.array([7.0, 7.0, 7.0])
+        fit = fit_best_function(lengths, groups, batches)
+        assert fit(5, 2) == pytest.approx(7.0, rel=0.2)
+
+
+class TestPlaneDivision:
+    def test_division_never_worse_than_single_fit(self, rng):
+        points = sample_plane(300, 80, rng=rng)
+        # Piecewise ground truth: sharp behaviour change at L = 100.
+        batches = np.where(
+            points[:, 0] < 100,
+            1000.0 / np.maximum(points[:, 0], 1),
+            10.0 + 0.01 * points[:, 1],
+        )
+        single = fit_best_function(points[:, 0].astype(float), points[:, 1].astype(float), batches)
+        division = divide_plane(points, batches, min_points=5)
+        assert division.total_error <= single.sse + 1e-6
+
+    def test_lookup_covers_outside_points(self, rng):
+        points = sample_plane(200, 60, rng=rng)
+        batches = 100.0 / np.maximum(points[:, 0], 1.0)
+        division = divide_plane(points, batches, min_points=5)
+        fit = division.lookup(10_000.0, 5_000.0)  # far outside sampled region
+        assert fit is not None
+
+    def test_underpopulated_cells_rejected(self, rng):
+        # With min_points > total points, the fallback single region is used.
+        points = sample_plane(100, 8, rng=rng)
+        batches = np.ones(len(points)) * 4
+        division = divide_plane(points, batches, min_points=100)
+        assert len(division.regions) == 1
+
+
+class TestPredictorEndToEnd:
+    def test_prediction_close_to_measurement(self, memory_model, rng):
+        capacity = 128 * 1024 * 1024
+        predictor = BatchSizePredictor(
+            lambda b, l, n: memory_model.step_bytes("group", b, l, n_groups=n), capacity
+        )
+        predictor.fit(l_max=1000, n_points=60, rng=rng)
+        errors = []
+        for length, groups in [(50, 10), (200, 30), (700, 100), (900, 12)]:
+            true = predictor.measure(length, groups)
+            predicted = predictor.predict(length, groups)
+            if true > 0:
+                errors.append(abs(predicted - true) / true)
+        assert np.mean(errors) < 0.3
+
+    def test_predict_before_fit_raises(self, memory_model):
+        predictor = BatchSizePredictor(
+            lambda b, l, n: memory_model.step_bytes("group", b, l, n_groups=n), 1 << 20
+        )
+        with pytest.raises(ConfigError):
+            predictor.predict(10, 2)
+
+    def test_infeasible_capacity_raises(self, memory_model, rng):
+        predictor = BatchSizePredictor(
+            lambda b, l, n: memory_model.step_bytes("group", b, l, n_groups=n), capacity=1
+        )
+        with pytest.raises(ConfigError):
+            predictor.fit(l_max=100, n_points=10, rng=rng)
+
+    def test_prediction_at_least_one(self, memory_model, rng):
+        capacity = 32 * 1024 * 1024
+        predictor = BatchSizePredictor(
+            lambda b, l, n: memory_model.step_bytes("group", b, l, n_groups=n), capacity
+        )
+        predictor.fit(l_max=500, n_points=40, rng=rng)
+        assert predictor.predict(100_000, 50_000) >= 1

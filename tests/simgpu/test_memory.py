@@ -1,0 +1,121 @@
+"""Simulated GPU: byte accounting and OOM semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulatedOOMError
+from repro.simgpu import (
+    DEFAULT_CAPACITY,
+    MemoryModel,
+    SimulatedGPU,
+    current_device,
+    use_device,
+)
+
+
+@pytest.fixture
+def model():
+    # Paper reference architecture (Sec. A.1).
+    return MemoryModel(dim=64, n_heads=2, n_layers=8, ffn_dim=256)
+
+
+class TestAttentionAccounting:
+    def test_vanilla_quadratic_in_n(self, model):
+        a = model.attention_elements("vanilla", 100)
+        b = model.attention_elements("vanilla", 200)
+        assert b == pytest.approx(4 * a)
+
+    def test_group_linear_in_n(self, model):
+        a = model.attention_elements("group", 1000, n_groups=32)
+        b = model.attention_elements("group", 2000, n_groups=32)
+        assert b < 2.2 * a
+
+    def test_group_defaults_to_full_when_unspecified(self, model):
+        assert model.attention_elements("group", 50) >= model.attention_elements(
+            "group", 50, n_groups=10
+        )
+
+    def test_group_capped_at_n(self, model):
+        capped = model.attention_elements("group", 10, n_groups=1000)
+        assert capped == model.attention_elements("group", 10, n_groups=10)
+
+    def test_linformer_and_performer_linear(self, model):
+        for kind, kw in [("performer", {"feature_dim": 32}), ("linformer", {"proj_dim": 32})]:
+            a = model.attention_elements(kind, 1000, **kw)
+            b = model.attention_elements(kind, 2000, **kw)
+            assert b <= 2.2 * a, kind
+
+    def test_unknown_kind_raises(self, model):
+        with pytest.raises(ValueError):
+            model.attention_elements("flash", 100)
+
+
+class TestStepBytes:
+    def test_linear_in_batch(self, model):
+        one = model.step_bytes("group", 1, 500, n_groups=16)
+        four = model.step_bytes("group", 4, 500, n_groups=16)
+        assert four == pytest.approx(4 * one)
+
+    def test_monotone_in_length(self, model):
+        values = [model.step_bytes("vanilla", 1, n) for n in [100, 500, 1000, 5000]]
+        assert all(a < b for a, b in zip(values, values[1:]))
+
+    def test_paper_oom_crossover(self, model):
+        """Vanilla at MGH length (10,000) exceeds 16 GB; group attention fits.
+
+        This is the Table 2 / Fig. 4 'N/A (OOM)' reproduction."""
+        vanilla = model.step_bytes("vanilla", 1, 10_000)
+        group = model.step_bytes("group", 1, 10_000, n_groups=64)
+        assert vanilla > DEFAULT_CAPACITY
+        assert group < DEFAULT_CAPACITY
+
+    def test_vanilla_fits_at_ecg_length(self, model):
+        """At length 2,000 even vanilla fits (paper trains it on ECG)."""
+        assert model.step_bytes("vanilla", 1, 2_000) < DEFAULT_CAPACITY
+
+    def test_max_batch_closed_form(self, model):
+        capacity = 1 << 30
+        best = model.max_batch_size("group", 500, capacity, n_groups=16)
+        assert model.step_bytes("group", best, 500, n_groups=16) <= 0.9 * capacity
+        assert model.step_bytes("group", best + 1, 500, n_groups=16) > 0.9 * capacity
+
+
+class TestSimulatedGPU:
+    def test_check_under_capacity_passes(self):
+        gpu = SimulatedGPU(capacity=1000)
+        gpu.check(999)
+        assert gpu.peak_bytes == 999
+
+    def test_check_over_capacity_raises(self):
+        gpu = SimulatedGPU(capacity=1000)
+        with pytest.raises(SimulatedOOMError) as excinfo:
+            gpu.check(1001, note="unit test")
+        assert excinfo.value.requested == 1001
+        assert excinfo.value.capacity == 1000
+        assert "unit test" in str(excinfo.value)
+
+    def test_peak_tracks_maximum(self):
+        gpu = SimulatedGPU(capacity=1000)
+        gpu.check(10)
+        gpu.check(500)
+        gpu.check(100)
+        assert gpu.peak_bytes == 500
+
+    def test_context_manager_stack(self):
+        assert current_device() is None
+        with SimulatedGPU(100) as outer:
+            assert current_device() is outer
+            with SimulatedGPU(50) as inner:
+                assert current_device() is inner
+            assert current_device() is outer
+        assert current_device() is None
+
+    def test_use_device_helper(self):
+        with use_device(123) as gpu:
+            assert gpu.capacity == 123
+            assert current_device() is gpu
+        assert current_device() is None
+
+    def test_utilization(self):
+        gpu = SimulatedGPU(capacity=200)
+        assert gpu.utilization(100) == pytest.approx(0.5)

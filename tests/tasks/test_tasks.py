@@ -1,0 +1,140 @@
+"""Task objectives: classification, imputation, pretraining, forecasting, similarity."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data import Scaler
+from repro.model import RitaConfig, RitaModel
+from repro.tasks import (
+    ClassificationTask,
+    ForecastingTask,
+    ImputationTask,
+    PretrainTask,
+    SimilarityIndex,
+    cluster_embeddings,
+    extract_embeddings,
+)
+
+
+@pytest.fixture
+def small_model(rng):
+    config = RitaConfig(
+        input_channels=2, max_len=24, dim=16, n_layers=1, n_heads=2,
+        attention="group", n_groups=4, dropout=0.0, n_classes=3,
+    )
+    return RitaModel(config, rng=rng)
+
+
+@pytest.fixture
+def batch(rng):
+    return {"x": rng.random((6, 24, 2)), "y": rng.integers(0, 3, 6)}
+
+
+class TestClassificationTask:
+    def test_loss_is_scalar(self, small_model, batch):
+        loss = ClassificationTask().loss(small_model, batch)
+        assert loss.data.size == 1
+        assert np.isfinite(loss.data)
+
+    def test_evaluate_keys(self, small_model, batch):
+        metrics = ClassificationTask().evaluate(small_model, batch)
+        assert set(metrics) == {"loss_sum", "correct", "count"}
+        assert metrics["count"] == 6
+
+    def test_summarize(self):
+        totals = {"loss_sum": 12.0, "correct": 3.0, "count": 6.0}
+        summary = ClassificationTask.summarize(totals)
+        assert summary["accuracy"] == pytest.approx(0.5)
+        assert summary["loss"] == pytest.approx(2.0)
+
+    def test_evaluate_restores_eval_mode_consistency(self, small_model, batch):
+        ClassificationTask().evaluate(small_model, batch)
+        # evaluate itself does not change the module mode
+        assert small_model.training
+
+
+class TestImputationTask:
+    def test_loss_decreases_under_training(self, small_model, batch, rng):
+        scaler = Scaler.fit(batch["x"])
+        task = ImputationTask(scaler, mask_rate=0.2, rng=rng)
+        optimizer = repro.AdamW(small_model.parameters(), lr=5e-3, weight_decay=0.0)
+        losses = []
+        for _ in range(20):
+            optimizer.zero_grad()
+            loss = task.loss(small_model, batch)
+            loss.backward()
+            optimizer.step()
+            losses.append(loss.item())
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+    def test_evaluate_metrics(self, small_model, batch, rng):
+        scaler = Scaler.fit(batch["x"])
+        task = ImputationTask(scaler, mask_rate=0.2, rng=rng)
+        totals = task.evaluate(small_model, batch)
+        summary = ImputationTask.summarize(totals)
+        assert summary["mse"] >= 0
+        assert summary["mae"] >= 0
+
+    def test_mask_value_visible_to_model(self, small_model, batch, rng, monkeypatch):
+        scaler = Scaler.fit(batch["x"])
+        task = ImputationTask(scaler, mask_rate=0.3, rng=rng)
+        seen = {}
+        original = small_model.reconstruct
+
+        def spy(series):
+            seen["data"] = series.data.copy()
+            return original(series)
+
+        monkeypatch.setattr(small_model, "reconstruct", spy)
+        task.loss(small_model, batch)
+        assert (seen["data"] == -1.0).any()
+
+    def test_pretrain_task_is_imputation(self):
+        assert issubclass(PretrainTask, ImputationTask)
+        assert PretrainTask.name == "pretrain"
+
+
+class TestForecastingTask:
+    def test_mask_restricted_to_tail(self, small_model, batch, rng):
+        scaler = Scaler.fit(batch["x"])
+        task = ForecastingTask(scaler, horizon=6)
+        scaled, masked, mask = task._prepare(batch)
+        assert mask[:, -6:, :].all()
+        assert not mask[:, :-6, :].any()
+
+    def test_loss_and_evaluate(self, small_model, batch):
+        scaler = Scaler.fit(batch["x"])
+        task = ForecastingTask(scaler, horizon=4)
+        loss = task.loss(small_model, batch)
+        assert np.isfinite(loss.data)
+        summary = ForecastingTask.summarize(task.evaluate(small_model, batch))
+        assert "mse" in summary and "mae" in summary
+
+
+class TestSimilarity:
+    def test_extract_embeddings_shape(self, small_model, rng):
+        ds = repro.ArrayDataset(x=rng.random((10, 24, 2)))
+        embeddings = extract_embeddings(small_model, ds, batch_size=4)
+        assert embeddings.shape == (10, 16)
+
+    def test_similarity_index_self_query(self, rng):
+        embeddings = rng.standard_normal((20, 8))
+        index = SimilarityIndex(embeddings)
+        ids, sims = index.search(embeddings[7], k=3)
+        assert ids[0] == 7
+        assert sims[0] == pytest.approx(1.0)
+        assert len(index) == 20
+
+    def test_similarity_orders_descending(self, rng):
+        index = SimilarityIndex(rng.standard_normal((15, 4)))
+        _, sims = index.search(rng.standard_normal(4), k=5)
+        assert all(a >= b for a, b in zip(sims, sims[1:]))
+
+    def test_cluster_embeddings_labels(self, rng):
+        a = rng.standard_normal((10, 4)) + 10
+        b = rng.standard_normal((10, 4)) - 10
+        labels = cluster_embeddings(np.concatenate([a, b]), 2, rng=rng)
+        assert len(np.unique(labels[:10])) == 1
+        assert len(np.unique(labels[10:])) == 1
+        assert labels[0] != labels[10]

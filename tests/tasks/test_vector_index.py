@@ -1,0 +1,102 @@
+"""IVF-Flat vector index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, ShapeError
+from repro.tasks.vector_index import IVFFlatIndex
+
+
+@pytest.fixture
+def vectors(rng):
+    # Clustered embeddings: 8 blobs of 25 points in 16-d.
+    centers = rng.standard_normal((8, 16)) * 5
+    return np.concatenate([c + rng.standard_normal((25, 16)) for c in centers])
+
+
+class TestConstruction:
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            IVFFlatIndex(n_lists=0)
+        with pytest.raises(ConfigError):
+            IVFFlatIndex(n_lists=4, n_probe=5)
+        with pytest.raises(ConfigError):
+            IVFFlatIndex(metric="hamming")
+
+    def test_train_validates_shape(self, rng):
+        with pytest.raises(ShapeError):
+            IVFFlatIndex().train(rng.standard_normal(10))
+
+    def test_search_before_train_raises(self, rng):
+        with pytest.raises(ConfigError):
+            IVFFlatIndex().search(rng.standard_normal(4))
+
+    def test_lists_partition_everything(self, vectors, rng):
+        index = IVFFlatIndex(n_lists=8, n_probe=2, rng=rng).train(vectors)
+        assert index.list_sizes().sum() == len(vectors)
+        assert len(index) == len(vectors)
+
+
+class TestSearch:
+    def test_self_query_returns_self(self, vectors, rng):
+        index = IVFFlatIndex(n_lists=8, n_probe=3, rng=rng).train(vectors)
+        ids, scores = index.search(vectors[17], k=1)
+        assert ids[0] == 17
+        assert scores[0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_scores_sorted_ascending_l2(self, vectors, rng):
+        index = IVFFlatIndex(n_lists=8, n_probe=3, rng=rng).train(vectors)
+        _, scores = index.search(vectors[0] + 0.1, k=10)
+        assert all(a <= b for a, b in zip(scores, scores[1:]))
+
+    def test_full_probe_is_exact(self, vectors, rng):
+        index = IVFFlatIndex(n_lists=8, n_probe=8, rng=rng).train(vectors)
+        query = rng.standard_normal(16)
+        ids, _ = index.search(query, k=5)
+        diff = vectors - query
+        exact = np.argsort(np.einsum("nd,nd->n", diff, diff))[:5]
+        assert set(ids.tolist()) == set(exact.tolist())
+
+    def test_recall_increases_with_probes(self, vectors, rng):
+        queries = vectors[::20] + 0.05
+        recalls = []
+        for n_probe in [1, 4, 8]:
+            index = IVFFlatIndex(n_lists=8, n_probe=n_probe,
+                                 rng=np.random.default_rng(0)).train(vectors)
+            recalls.append(index.recall_at_k(queries, k=5))
+        assert recalls[0] <= recalls[1] <= recalls[2]
+        assert recalls[-1] == pytest.approx(1.0)
+
+    def test_high_recall_on_clustered_data(self, vectors, rng):
+        index = IVFFlatIndex(n_lists=8, n_probe=2, rng=rng).train(vectors)
+        queries = vectors[::10] + 0.01
+        assert index.recall_at_k(queries, k=3) > 0.9
+
+    def test_inner_product_metric(self, rng):
+        vectors = rng.standard_normal((100, 8))
+        vectors /= np.linalg.norm(vectors, axis=1, keepdims=True)
+        index = IVFFlatIndex(n_lists=4, n_probe=4, metric="ip", rng=rng).train(vectors)
+        ids, scores = index.search(vectors[3], k=1)
+        assert ids[0] == 3
+        assert scores[0] == pytest.approx(1.0, abs=1e-9)
+        # Descending similarity ordering.
+        _, many = index.search(vectors[3], k=5)
+        assert all(a >= b for a, b in zip(many, many[1:]))
+
+    def test_fewer_lists_than_vectors_handled(self, rng):
+        small = rng.standard_normal((3, 4))
+        index = IVFFlatIndex(n_lists=16, n_probe=16, rng=rng).train(small)
+        ids, _ = index.search(small[1], k=3)
+        assert ids[0] == 1
+
+
+class TestEmbeddingIntegration:
+    def test_index_over_model_embeddings(self, tiny_har_bundle, tiny_rita_config, rng):
+        from repro.model import RitaModel
+        from repro.tasks import extract_embeddings
+
+        model = RitaModel(tiny_rita_config, rng=rng)
+        embeddings = extract_embeddings(model, tiny_har_bundle.train)
+        index = IVFFlatIndex(n_lists=4, n_probe=2, rng=rng).train(embeddings)
+        ids, _ = index.search(embeddings[0], k=3)
+        assert ids[0] == 0

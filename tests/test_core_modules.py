@@ -1,0 +1,75 @@
+"""Top-level package: errors, rng management, public API surface."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigError,
+    GradError,
+    ReproError,
+    ShapeError,
+    SimulatedOOMError,
+)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ShapeError, ReproError)
+        assert issubclass(ShapeError, ValueError)
+        assert issubclass(ConfigError, ReproError)
+        assert issubclass(GradError, RuntimeError)
+        assert issubclass(SimulatedOOMError, MemoryError)
+
+    def test_oom_message_contains_sizes(self):
+        error = SimulatedOOMError(2048, 1024, note="unit")
+        assert "2,048" in str(error)
+        assert "1,024" in str(error)
+        assert "unit" in str(error)
+        assert error.requested == 2048
+
+    def test_single_catch_all(self):
+        with pytest.raises(ReproError):
+            raise SimulatedOOMError(2, 1)
+
+
+class TestRng:
+    def test_seed_all_reproducible(self):
+        repro.seed_all(42)
+        a = repro.get_rng().random(5)
+        repro.seed_all(42)
+        b = repro.get_rng().random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_get_rng_passthrough(self):
+        mine = np.random.default_rng(0)
+        assert repro.get_rng(mine) is mine
+
+    def test_spawn_rng_independent(self):
+        repro.seed_all(1)
+        child_a = repro.spawn_rng()
+        child_b = repro.spawn_rng()
+        assert not np.array_equal(child_a.random(4), child_b.random(4))
+
+    def test_global_default_used_by_initializers(self):
+        from repro.nn import init
+        repro.seed_all(7)
+        a = init.normal((3, 3))
+        repro.seed_all(7)
+        b = init.normal((3, 3))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPublicAPI:
+    def test_all_exports_exist(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_quickstart_docstring_names_are_exported(self):
+        # The README/docstring quickstart only uses public API.
+        for name in ["seed_all", "load_dataset", "RitaConfig", "RitaModel",
+                     "Trainer", "ClassificationTask", "AdamW", "AdaptiveScheduler"]:
+            assert hasattr(repro, name)

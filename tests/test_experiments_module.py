@@ -1,0 +1,122 @@
+"""Experiments module: tables, index, scales, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    BENCH,
+    EXPERIMENT_INDEX,
+    METHODS,
+    SMOKE,
+    ExperimentScale,
+    build_model,
+    format_table,
+    method_display_name,
+    paper_scale_oom,
+)
+from repro.experiments.tables import format_value
+from repro.model import RitaModel
+from repro.baselines import TSTModel
+
+
+class TestFormatting:
+    def test_format_value_none(self):
+        assert format_value(None) == "N/A"
+
+    def test_format_value_float(self):
+        assert format_value(0.123456, precision=3) == "0.123"
+
+    def test_format_value_tiny_float_scientific(self):
+        assert "e" in format_value(1.5e-7)
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "b" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_table_selected_columns(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        assert "b" not in text.splitlines()[0]
+
+
+class TestExperimentIndex:
+    def test_every_paper_experiment_present(self):
+        expected = {"table1", "fig3", "table2", "table3", "table4", "table5",
+                    "fig4", "fig5", "table6", "table7"}
+        assert expected == set(EXPERIMENT_INDEX)
+
+    def test_entries_reference_real_bench_files(self):
+        import pathlib
+        root = pathlib.Path(__file__).resolve().parents[1]
+        for entry in EXPERIMENT_INDEX.values():
+            assert (root / entry.bench_target).exists(), entry.bench_target
+
+    def test_entries_reference_importable_modules(self):
+        import importlib
+        for entry in EXPERIMENT_INDEX.values():
+            for module_name in entry.modules:
+                importlib.import_module(module_name.rsplit(".", 0)[0].split(".py")[0]
+                                        if module_name.endswith(".py") else module_name)
+
+
+class TestScalesAndFactories:
+    def test_with_override(self):
+        assert BENCH.with_(epochs=99).epochs == 99
+        assert BENCH.epochs != 99  # frozen original untouched
+
+    def test_methods_are_the_papers_five(self):
+        assert METHODS == ["tst", "vanilla", "performer", "linformer", "group"]
+
+    def test_display_names(self):
+        assert method_display_name("group") == "Group Attn."
+        assert method_display_name("tst") == "TST"
+        assert method_display_name("unknown") == "unknown"
+
+    def test_build_model_kinds(self, tiny_har_bundle, rng):
+        tst = build_model("tst", tiny_har_bundle, SMOKE, rng)
+        assert isinstance(tst, TSTModel)
+        for method in ["vanilla", "performer", "linformer", "group"]:
+            model = build_model(method, tiny_har_bundle, SMOKE, rng)
+            assert isinstance(model, RitaModel)
+            assert model.config.attention == method
+
+    def test_build_model_without_classifier(self, tiny_har_bundle, rng):
+        model = build_model("group", tiny_har_bundle, SMOKE, rng, with_classifier=False)
+        assert model.classifier is None
+
+    def test_build_model_n_groups_override(self, tiny_har_bundle, rng):
+        model = build_model("group", tiny_har_bundle, SMOKE, rng, n_groups=3)
+        assert model.config.n_groups == 3
+
+
+class TestPaperScaleOOM:
+    def test_matrix(self):
+        # The full Table 2 OOM pattern.
+        assert paper_scale_oom("vanilla", "mgh")
+        assert paper_scale_oom("tst", "mgh")
+        assert not paper_scale_oom("group", "mgh")
+        assert not paper_scale_oom("vanilla", "ecg")
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3" in out and "table5" in out
+
+    def test_table1(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["table1"]) == 0
+        assert "WISDM" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        from repro.experiments.__main__ import main
+        assert main(["table99"]) == 2
