@@ -16,8 +16,21 @@ import numpy as np
 import pytest
 
 import repro
+import repro.kernels
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _float64_policy():
+    """Pin float64 so table numbers keep their seed-era meaning.
+
+    ``bench_kernels.py`` sweeps both dtypes explicitly via
+    ``repro.kernels.dtype_scope``.
+    """
+    previous = repro.kernels.set_default_dtype(np.float64)
+    yield
+    repro.kernels.set_default_dtype(previous)
 
 
 @pytest.fixture(autouse=True)

@@ -10,6 +10,9 @@ at long lengths.
 import numpy as np
 import pytest
 
+#: Full-experiment benchmark: excluded from the fast tier (-m 'not slow').
+pytestmark = pytest.mark.slow
+
 from repro.attention import (
     GroupAttention,
     LinformerAttention,

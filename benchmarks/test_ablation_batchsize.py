@@ -6,6 +6,11 @@ claim that growing the batch as N shrinks reduces epoch time (they report
 ~30% for a doubling).
 """
 
+import pytest
+
+#: Full-experiment benchmark: excluded from the fast tier (-m 'not slow').
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 import repro

@@ -10,6 +10,11 @@ Paper shape to reproduce:
 * MSE stays comparable across methods.
 """
 
+import pytest
+
+#: Full-experiment benchmark: excluded from the fast tier (-m 'not slow').
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.experiments import BENCH, format_table, run_varying_length

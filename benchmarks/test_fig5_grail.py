@@ -5,6 +5,11 @@ on all three univariate datasets by a wide margin (the expressive power
 of the Transformer), at a competitive training cost per epoch.
 """
 
+import pytest
+
+#: Full-experiment benchmark: excluded from the fast tier (-m 'not slow').
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.experiments import BENCH, format_table, run_grail_comparison

@@ -5,6 +5,11 @@ at the benchmark scale actually used by the other experiments, verifying
 the generated data matches the registry's promises.
 """
 
+import pytest
+
+#: Full-experiment benchmark: excluded from the fast tier (-m 'not slow').
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.data import DATASETS, load_dataset, table1_rows

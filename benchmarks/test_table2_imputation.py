@@ -10,6 +10,9 @@ Paper shape to reproduce:
 
 import pytest
 
+#: Full-experiment benchmark: excluded from the fast tier (-m 'not slow').
+pytestmark = pytest.mark.slow
+
 from repro.experiments import BENCH, format_table, run_imputation
 
 from conftest import run_once

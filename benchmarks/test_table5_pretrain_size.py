@@ -11,6 +11,11 @@ HHAR surrogate (5 classes), where few-label accuracy is learnable and the
 pretraining effect has room to show.  EXPERIMENTS.md records both.
 """
 
+import pytest
+
+#: Full-experiment benchmark: excluded from the fast tier (-m 'not slow').
+pytestmark = pytest.mark.slow
+
 import numpy as np
 
 from repro.experiments import BENCH, format_table, run_pretrain_size_ablation

@@ -8,6 +8,9 @@ Paper shape to reproduce:
 
 import pytest
 
+#: Full-experiment benchmark: excluded from the fast tier (-m 'not slow').
+pytestmark = pytest.mark.slow
+
 from repro.experiments import BENCH, format_table, run_inference_time
 
 from conftest import run_once

@@ -27,15 +27,16 @@ vanilla attention.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.autograd import ops
 from repro.autograd.tensor import Tensor
 from repro.attention.base import AttentionMechanism
 from repro.cluster.kmeans import KMeansResult, batched_kmeans
 from repro.errors import ConfigError
+from repro.kernels import functional as kernels
 from repro.rng import get_rng
 
 __all__ = ["GroupAttention", "GroupStats", "group_attention_exact_output"]
@@ -111,21 +112,43 @@ class GroupAttention(AttentionMechanism):
         self._prev_centers: np.ndarray | None = None
         self.last_stats: GroupStats | None = None
 
-    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
-        import time
+    def _warm_start_centers(
+        self, flat_batch: int, n_groups: int, d_k: int
+    ) -> np.ndarray | None:
+        """Previous centroids adapted to the current ``(B*H, N, d_k)`` geometry.
 
+        The adaptive scheduler shrinks ``n_groups`` between steps; instead
+        of discarding the cached centers on the shape mismatch (which
+        silently degraded warm starts to cold k-means every step after the
+        first shrink), subsample evenly when ``N`` shrank and pad with
+        jittered duplicates when it grew.  A change in ``batch*heads`` or
+        ``d_k`` means the cache describes different tensors — bail then.
+        """
+        if not self.warm_start or self._prev_centers is None:
+            return None
+        prev = self._prev_centers
+        if prev.shape[0] != flat_batch or prev.shape[2] != d_k:
+            return None
+        cached = prev.shape[1]
+        if cached == n_groups:
+            return prev
+        if cached > n_groups:
+            keep = np.linspace(0, cached - 1, num=n_groups).round().astype(np.int64)
+            return np.ascontiguousarray(prev[:, keep])
+        extra = np.arange(n_groups - cached, dtype=np.int64) % cached
+        pad = prev[:, extra].copy()
+        # Jitter duplicated centers so Lloyd iterations can separate them.
+        scale = 1e-3 * (np.abs(prev).max() or 1.0)
+        pad += self._rng.normal(0.0, scale, size=pad.shape).astype(pad.dtype, copy=False)
+        return np.concatenate([prev, pad], axis=1)
+
+    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
         batch, heads, n, d_k = k.shape
         n_groups = min(self.n_groups, n)
 
         t0 = time.perf_counter()
         keys_flat = k.data.reshape(batch * heads, n, d_k)
-        init_centers = None
-        if (
-            self.warm_start
-            and self._prev_centers is not None
-            and self._prev_centers.shape == (batch * heads, n_groups, d_k)
-        ):
-            init_centers = self._prev_centers
+        init_centers = self._warm_start_centers(batch * heads, n_groups, d_k)
         clustering = batched_kmeans(
             keys_flat, n_groups, n_iters=self.kmeans_iters, rng=self._rng,
             init=self.init, init_centers=init_centers,
@@ -136,24 +159,22 @@ class GroupAttention(AttentionMechanism):
         n_groups = clustering.n_clusters
 
         ids = clustering.assignments.reshape(batch, heads, n)
-        counts = clustering.counts.reshape(batch, heads, n_groups).astype(np.float64)
+        counts = clustering.counts.reshape(batch, heads, n_groups).astype(k.data.dtype)
 
         # Differentiable group representatives: mean of member keys.
-        key_sums = ops.batched_segment_sum(k, ids, n_groups)
+        key_sums = kernels.segment_sum(k, ids, n_groups)
         safe_counts = np.maximum(counts, 1.0)[..., None]
         representatives = key_sums / safe_counts  # (B, H, N, d_k)
 
         scores = (q @ representatives.swapaxes(-1, -2)) * (1.0 / math.sqrt(d_k))
 
-        # Group softmax (Eq. 3), numerically stabilized by a constant shift.
-        shift = scores.data.max(axis=-1, keepdims=True)
-        exp_scores = (scores - shift).exp()
-        weighted = exp_scores * counts[:, :, None, :]
-        denom = weighted.sum(axis=-1, keepdims=True)
-        attn = exp_scores / denom  # (B, H, n, N); A~ of the paper
+        # Group softmax (Eq. 3): exp / count-weight / normalize as ONE fused
+        # kernel with a single hand-written backward (max-shift stabilized
+        # inside the kernel).
+        attn = kernels.fused_group_softmax(scores, counts)  # (B, H, n, N)
 
         # Embedding aggregation (Alg. 1 line 3) and output (line 11).
-        v_agg = ops.batched_segment_sum(v, ids, n_groups)
+        v_agg = kernels.segment_sum(v, ids, n_groups)
         out = attn @ v_agg
 
         self.last_stats = GroupStats(

@@ -14,10 +14,10 @@ import math
 
 import numpy as np
 
-from repro.autograd import ops
 from repro.autograd.tensor import Tensor
 from repro.attention.base import AttentionMechanism
 from repro.errors import ConfigError, ShapeError
+from repro.kernels import functional as kernels
 from repro.nn import init
 from repro.nn.module import Parameter
 
@@ -64,7 +64,7 @@ class LinformerAttention(AttentionMechanism):
         projected_k = e_slice @ k  # (B, H, k, d_k) via broadcasting
         projected_v = f_slice @ v
         scores = (q @ projected_k.swapaxes(-1, -2)) * (1.0 / math.sqrt(d_k))
-        attn = ops.softmax(scores, axis=-1)
+        attn = kernels.softmax(scores, axis=-1)
         return attn @ projected_v
 
     def memory_kwargs(self) -> dict:

@@ -20,6 +20,7 @@ import numpy as np
 from repro.autograd import ops
 from repro.autograd.tensor import Tensor
 from repro.attention.base import AttentionMechanism
+from repro.kernels import functional as kernels
 
 __all__ = ["LocalAttention"]
 
@@ -47,7 +48,7 @@ class LocalAttention(AttentionMechanism):
         n = q.shape[-2]
         scores = (q @ k.swapaxes(-1, -2)) * (1.0 / math.sqrt(d_k))
         scores = ops.masked_fill(scores, self._band_mask(n), -1e9)
-        attn = ops.softmax(scores, axis=-1)
+        attn = kernels.softmax(scores, axis=-1)
         return attn @ v
 
     def memory_kwargs(self) -> dict:

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd import ops
 from repro.autograd.tensor import Tensor
 from repro.attention.base import AttentionMechanism
+from repro.kernels import functional as kernels
 from repro.rng import get_rng
 
 __all__ = ["PerformerAttention", "orthogonal_gaussian_features"]
@@ -76,17 +76,19 @@ class PerformerAttention(AttentionMechanism):
         return self._features
 
     def _phi(self, x: Tensor, omega: np.ndarray) -> Tensor:
-        """Positive random feature map with per-tensor max stabilization."""
-        projection = x @ omega.T  # (B, H, n, m)
-        sq_norm = (x * x).sum(axis=-1, keepdims=True) * 0.5
-        logits = projection - sq_norm
-        shift = logits.data.max()  # constant; cancels in the D^-1 ratio
-        return (logits - shift).exp() * (1.0 / np.sqrt(self.n_features))
+        """Positive random feature map with per-tensor max stabilization.
+
+        One fused kernel node (projection, square norm, exp, scaling); the
+        max shift is a constant that cancels in the ``D^-1`` ratio.
+        """
+        return kernels.performer_phi(x, omega)
 
     def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
         self._calls += 1
         d_k = q.shape[-1]
         omega = self._feature_matrix(d_k)
+        if omega.dtype != q.dtype:
+            omega = omega.astype(q.dtype)
         scale = d_k ** -0.25
         phi_q = self._phi(q * scale, omega)  # (B, H, n, m)
         phi_k = self._phi(k * scale, omega)

@@ -8,9 +8,9 @@ from __future__ import annotations
 
 import math
 
-from repro.autograd import ops
 from repro.autograd.tensor import Tensor
 from repro.attention.base import AttentionMechanism
+from repro.kernels import functional as kernels
 
 __all__ = ["VanillaAttention"]
 
@@ -23,5 +23,5 @@ class VanillaAttention(AttentionMechanism):
     def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
         d_k = q.shape[-1]
         scores = (q @ k.swapaxes(-1, -2)) * (1.0 / math.sqrt(d_k))
-        attn = ops.softmax(scores, axis=-1)
+        attn = kernels.softmax(scores, axis=-1)
         return attn @ v

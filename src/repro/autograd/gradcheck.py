@@ -11,6 +11,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.kernels.policy import dtype_scope
 
 __all__ = ["numerical_gradient", "gradcheck"]
 
@@ -48,21 +49,27 @@ def gradcheck(
 
     Raises ``AssertionError`` with a diagnostic message on mismatch;
     returns ``True`` on success so it can be used inside ``assert``.
+
+    Runs under ``dtype_scope(float64)`` so tensors materialized inside
+    ``func`` (scalars, constants) are float64 regardless of the process
+    compute-dtype policy — central differences with ``eps ~ 1e-6`` are
+    meaningless in float32.
     """
-    for tensor in inputs:
-        tensor.zero_grad()
-    output = func(*inputs)
-    output.sum().backward()
-    for index, tensor in enumerate(inputs):
-        if not tensor.requires_grad:
-            continue
-        expected = numerical_gradient(func, inputs, index, eps=eps)
-        actual = tensor.grad
-        assert actual is not None, f"input {index} received no gradient"
-        if not np.allclose(actual, expected, atol=atol, rtol=rtol):
-            worst = np.max(np.abs(actual - expected))
-            raise AssertionError(
-                f"gradient mismatch on input {index}: max abs diff {worst:.3e}\n"
-                f"autograd:\n{actual}\nnumerical:\n{expected}"
-            )
+    with dtype_scope(np.float64):
+        for tensor in inputs:
+            tensor.zero_grad()
+        output = func(*inputs)
+        output.sum().backward()
+        for index, tensor in enumerate(inputs):
+            if not tensor.requires_grad:
+                continue
+            expected = numerical_gradient(func, inputs, index, eps=eps)
+            actual = tensor.grad
+            assert actual is not None, f"input {index} received no gradient"
+            if not np.allclose(actual, expected, atol=atol, rtol=rtol):
+                worst = np.max(np.abs(actual - expected))
+                raise AssertionError(
+                    f"gradient mismatch on input {index}: max abs diff {worst:.3e}\n"
+                    f"autograd:\n{actual}\nnumerical:\n{expected}"
+                )
     return True

@@ -26,7 +26,7 @@ __all__ = [
     "maximum", "clip",
     "sum_", "mean", "var", "max_", "min_",
     "reshape", "swapaxes", "transpose", "broadcast_to", "concat", "stack",
-    "getitem", "where", "masked_fill", "dropout",
+    "getitem", "where", "masked_fill", "dropout", "astype",
     "softmax", "log_softmax",
     "embedding", "batched_segment_sum", "batched_gather",
 ]
@@ -38,8 +38,26 @@ _SQRT_2_PI = math.sqrt(2.0 * math.pi)
 # ----------------------------------------------------------------------
 # Arithmetic
 # ----------------------------------------------------------------------
+def _is_weak_scalar(value) -> bool:
+    """Python numbers act as dtype-weak scalars (NumPy NEP 50 style).
+
+    Routing them through :func:`as_tensor` would materialize a
+    policy-dtype tensor and promote float32 operands to float64; the
+    scalar fast paths below keep the array operand's dtype and skip a
+    tensor allocation on the hot path.
+    """
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 def add(a, b) -> Tensor:
     """Elementwise ``a + b`` with NumPy broadcasting."""
+    if _is_weak_scalar(b) and isinstance(a, Tensor):
+        def backward(grad):
+            return (grad,)
+
+        return Tensor._make(a.data + b, (a,), backward)
+    if _is_weak_scalar(a) and isinstance(b, Tensor):
+        return add(b, a)
     a, b = as_tensor(a), as_tensor(b)
     out_data = a.data + b.data
 
@@ -51,6 +69,16 @@ def add(a, b) -> Tensor:
 
 def sub(a, b) -> Tensor:
     """Elementwise ``a - b``."""
+    if _is_weak_scalar(b) and isinstance(a, Tensor):
+        def backward(grad):
+            return (grad,)
+
+        return Tensor._make(a.data - b, (a,), backward)
+    if _is_weak_scalar(a) and isinstance(b, Tensor):
+        def backward(grad):
+            return (-grad,)
+
+        return Tensor._make(a - b.data, (b,), backward)
     a, b = as_tensor(a), as_tensor(b)
     out_data = a.data - b.data
 
@@ -62,6 +90,13 @@ def sub(a, b) -> Tensor:
 
 def mul(a, b) -> Tensor:
     """Elementwise ``a * b``."""
+    if _is_weak_scalar(b) and isinstance(a, Tensor):
+        def backward(grad):
+            return (grad * b,)
+
+        return Tensor._make(a.data * b, (a,), backward)
+    if _is_weak_scalar(a) and isinstance(b, Tensor):
+        return mul(b, a)
     a, b = as_tensor(a), as_tensor(b)
     out_data = a.data * b.data
 
@@ -76,6 +111,18 @@ def mul(a, b) -> Tensor:
 
 def div(a, b) -> Tensor:
     """Elementwise ``a / b``."""
+    # b == 0 falls through to the tensor path so division by a zero scalar
+    # keeps NumPy inf/nan semantics instead of raising ZeroDivisionError.
+    if _is_weak_scalar(b) and b != 0 and isinstance(a, Tensor):
+        def backward(grad):
+            return (grad / b,)
+
+        return Tensor._make(a.data / b, (a,), backward)
+    if _is_weak_scalar(a) and isinstance(b, Tensor):
+        def backward(grad):
+            return (-grad * a / (b.data * b.data),)
+
+        return Tensor._make(a / b.data, (b,), backward)
     a, b = as_tensor(a), as_tensor(b)
     out_data = a.data / b.data
 
@@ -476,34 +523,37 @@ def dropout(a, p: float, rng: np.random.Generator, training: bool = True) -> Ten
 
 
 # ----------------------------------------------------------------------
-# Softmax family
+# Dtype cast
 # ----------------------------------------------------------------------
-def softmax(a, axis: int = -1) -> Tensor:
-    """Numerically stable softmax along ``axis``."""
+def astype(a, dtype) -> Tensor:
+    """Differentiable dtype cast; the gradient is cast back on the way in."""
     a = as_tensor(a)
-    shifted = a.data - a.data.max(axis=axis, keepdims=True)
-    exps = np.exp(shifted)
-    out_data = exps / exps.sum(axis=axis, keepdims=True)
+    target = np.dtype(dtype)
+    if a.data.dtype == target:
+        return a
+    original = a.data.dtype
 
     def backward(grad):
-        dot = (grad * out_data).sum(axis=axis, keepdims=True)
-        return (out_data * (grad - dot),)
+        return (grad.astype(original),)
 
-    return Tensor._make(out_data, (a,), backward)
+    return Tensor._make(a.data.astype(target), (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Softmax family (routed through the kernel layer)
+# ----------------------------------------------------------------------
+def softmax(a, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` (kernel-layer dispatch)."""
+    from repro.kernels import functional as kernels
+
+    return kernels.softmax(a, axis=axis)
 
 
 def log_softmax(a, axis: int = -1) -> Tensor:
-    """Numerically stable log-softmax along ``axis``."""
-    a = as_tensor(a)
-    shifted = a.data - a.data.max(axis=axis, keepdims=True)
-    log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out_data = shifted - log_norm
+    """Numerically stable log-softmax along ``axis`` (kernel-layer dispatch)."""
+    from repro.kernels import functional as kernels
 
-    def backward(grad):
-        softmax_data = np.exp(out_data)
-        return (grad - softmax_data * grad.sum(axis=axis, keepdims=True),)
-
-    return Tensor._make(out_data, (a,), backward)
+    return kernels.log_softmax(a, axis=axis)
 
 
 # ----------------------------------------------------------------------
@@ -549,34 +599,12 @@ def batched_segment_sum(values, segment_ids: np.ndarray, num_segments: int) -> T
 
     This is the *embedding aggregation* primitive of the paper's Algorithm 1
     (line 3): aggregating value vectors per group costs O(n d) instead of a
-    dense O(n N d) one-hot matmul.
+    dense O(n N d) one-hot matmul.  Dispatches to the active kernel backend
+    (see :mod:`repro.kernels`).
     """
-    values = as_tensor(values)
-    ids = np.asarray(segment_ids, dtype=np.int64)
-    if ids.shape != values.shape[:-1]:
-        raise ShapeError(
-            f"segment_ids shape {ids.shape} must match values shape {values.shape[:-1]}"
-        )
-    batch_shape = values.shape[:-1][:-1]
-    n = values.shape[-2]
-    d = values.shape[-1]
-    batch = int(np.prod(batch_shape)) if batch_shape else 1
+    from repro.kernels import functional as kernels
 
-    flat_values = values.data.reshape(batch, n, d)
-    flat_ids = ids.reshape(batch, n)
-    offsets = np.arange(batch, dtype=np.int64)[:, None] * num_segments
-    flat_index = (flat_ids + offsets).reshape(-1)
-
-    out = np.zeros((batch * num_segments, d), dtype=values.data.dtype)
-    np.add.at(out, flat_index, flat_values.reshape(-1, d))
-    out_data = out.reshape(*batch_shape, num_segments, d)
-
-    def backward(grad):
-        flat_grad = grad.reshape(batch * num_segments, d)
-        gathered = flat_grad[flat_index].reshape(batch, n, d)
-        return (gathered.reshape(values.shape),)
-
-    return Tensor._make(out_data, (values,), backward)
+    return kernels.segment_sum(values, segment_ids, num_segments)
 
 
 def batched_gather(values, segment_ids: np.ndarray) -> Tensor:
@@ -585,30 +613,11 @@ def batched_gather(values, segment_ids: np.ndarray) -> Tensor:
     Inverse access pattern of :func:`batched_segment_sum`: given ``values``
     of shape ``(..., N, d)`` and ``segment_ids`` of shape ``(..., n)``,
     returns ``(..., n, d)`` with row ``i`` equal to ``values[..., ids[i], :]``.
+    Dispatches to the active kernel backend (see :mod:`repro.kernels`).
     """
-    values = as_tensor(values)
-    ids = np.asarray(segment_ids, dtype=np.int64)
-    batch_shape = values.shape[:-2]
-    if ids.shape[:-1] != batch_shape:
-        raise ShapeError(
-            f"segment_ids batch shape {ids.shape[:-1]} must match values batch shape {batch_shape}"
-        )
-    num_segments = values.shape[-2]
-    d = values.shape[-1]
-    n = ids.shape[-1]
-    batch = int(np.prod(batch_shape)) if batch_shape else 1
+    from repro.kernels import functional as kernels
 
-    flat_values = values.data.reshape(batch * num_segments, d)
-    offsets = np.arange(batch, dtype=np.int64)[:, None] * num_segments
-    flat_index = (ids.reshape(batch, n) + offsets).reshape(-1)
-    out_data = flat_values[flat_index].reshape(*batch_shape, n, d)
-
-    def backward(grad):
-        buffer = np.zeros((batch * num_segments, d), dtype=values.data.dtype)
-        np.add.at(buffer, flat_index, grad.reshape(-1, d))
-        return (buffer.reshape(values.shape),)
-
-    return Tensor._make(out_data, (values,), backward)
+    return kernels.segment_gather(values, segment_ids)
 
 
 # ----------------------------------------------------------------------
@@ -649,6 +658,7 @@ def _install() -> None:
     Tensor.softmax = softmax
     Tensor.log_softmax = log_softmax
     Tensor.clip = clip
+    Tensor.astype = astype
 
 
 _install()

@@ -14,8 +14,10 @@ Design notes
   dimensions is handled by :func:`unbroadcast`.
 * A process-global *grad mode* mirrors ``torch.no_grad``: inside
   :func:`no_grad`, no graph is recorded.
-* ``float64`` is the default dtype — on CPU it costs little and makes
-  numerical gradient checks sharp.
+* The compute dtype follows the process-global policy in
+  :mod:`repro.kernels.policy` (``float32`` by default, ``float64`` inside
+  gradient checks): Python scalars, lists and integer arrays adopt the
+  policy dtype, while explicitly-typed floating NumPy arrays keep theirs.
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from repro.errors import GradError, ShapeError
+from repro.kernels.policy import get_default_dtype, resolve_dtype
 
 __all__ = [
     "Tensor",
@@ -92,8 +95,10 @@ class Tensor:
     Parameters
     ----------
     data:
-        Anything convertible by ``np.asarray``.  Floating inputs keep their
-        dtype; Python scalars and lists become ``float64``.
+        Anything convertible by ``np.asarray``.  Explicitly-typed floating
+        NumPy arrays keep their dtype; Python scalars, lists and integer
+        arrays adopt the policy compute dtype (see
+        :mod:`repro.kernels.policy`).
     requires_grad:
         When true, :meth:`backward` accumulates a gradient into
         :attr:`grad` for this tensor.
@@ -110,9 +115,14 @@ class Tensor:
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
+        was_ndarray = isinstance(data, np.ndarray)
         array = np.asarray(data)
         if array.dtype.kind in "iub":
-            array = array.astype(np.float64)
+            array = array.astype(get_default_dtype())
+        elif array.dtype.kind == "f" and not was_ndarray and array.dtype != get_default_dtype():
+            # Python floats / lists adopt the policy dtype; explicit arrays
+            # keep theirs (gradcheck relies on float64 staying float64).
+            array = array.astype(get_default_dtype())
         self.data: np.ndarray = array
         self.grad: np.ndarray | None = None
         self.requires_grad: bool = bool(requires_grad) and is_grad_enabled()
@@ -280,33 +290,41 @@ def as_tensor(value, requires_grad: bool = False) -> Tensor:
     return Tensor(value, requires_grad=requires_grad)
 
 
-def zeros(*shape: int, requires_grad: bool = False) -> Tensor:
-    """Tensor of zeros with the given shape."""
-    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+def zeros(*shape: int, requires_grad: bool = False, dtype=None) -> Tensor:
+    """Tensor of zeros with the given shape (policy dtype by default)."""
+    return Tensor(np.zeros(shape, dtype=resolve_dtype(dtype)), requires_grad=requires_grad)
 
 
-def ones(*shape: int, requires_grad: bool = False) -> Tensor:
-    """Tensor of ones with the given shape."""
-    return Tensor(np.ones(shape), requires_grad=requires_grad)
+def ones(*shape: int, requires_grad: bool = False, dtype=None) -> Tensor:
+    """Tensor of ones with the given shape (policy dtype by default)."""
+    return Tensor(np.ones(shape, dtype=resolve_dtype(dtype)), requires_grad=requires_grad)
 
 
-def full(shape: Iterable[int], fill_value: float, requires_grad: bool = False) -> Tensor:
-    """Tensor filled with ``fill_value``."""
-    return Tensor(np.full(tuple(shape), float(fill_value)), requires_grad=requires_grad)
+def full(shape: Iterable[int], fill_value: float, requires_grad: bool = False, dtype=None) -> Tensor:
+    """Tensor filled with ``fill_value`` (policy dtype by default)."""
+    return Tensor(
+        np.full(tuple(shape), float(fill_value), dtype=resolve_dtype(dtype)),
+        requires_grad=requires_grad,
+    )
 
 
-def randn(*shape: int, rng: np.random.Generator | None = None, requires_grad: bool = False) -> Tensor:
+def randn(*shape: int, rng: np.random.Generator | None = None, requires_grad: bool = False, dtype=None) -> Tensor:
     """Standard-normal tensor; pass ``rng`` for reproducibility."""
     generator = rng if rng is not None else np.random.default_rng()
-    return Tensor(generator.standard_normal(shape), requires_grad=requires_grad)
+    return Tensor(
+        generator.standard_normal(shape, dtype=resolve_dtype(dtype)),
+        requires_grad=requires_grad,
+    )
 
 
-def rand(*shape: int, rng: np.random.Generator | None = None, requires_grad: bool = False) -> Tensor:
+def rand(*shape: int, rng: np.random.Generator | None = None, requires_grad: bool = False, dtype=None) -> Tensor:
     """Uniform[0,1) tensor; pass ``rng`` for reproducibility."""
     generator = rng if rng is not None else np.random.default_rng()
-    return Tensor(generator.random(shape), requires_grad=requires_grad)
+    return Tensor(
+        generator.random(shape, dtype=resolve_dtype(dtype)), requires_grad=requires_grad
+    )
 
 
-def arange(*args, requires_grad: bool = False) -> Tensor:
-    """``np.arange`` wrapped in a tensor (float dtype)."""
-    return Tensor(np.arange(*args, dtype=np.float64), requires_grad=requires_grad)
+def arange(*args, requires_grad: bool = False, dtype=None) -> Tensor:
+    """``np.arange`` wrapped in a tensor (policy float dtype by default)."""
+    return Tensor(np.arange(*args, dtype=resolve_dtype(dtype)), requires_grad=requires_grad)

@@ -1,0 +1,346 @@
+"""Kernel backend registry and the NumPy reference backend.
+
+A *kernel backend* implements the forward and backward passes of the small
+set of numerical kernels the whole compute stack is built from:
+
+* ``softmax`` / ``log_softmax`` — row-wise normalizers;
+* ``group_softmax`` — the paper's count-weighted softmax (Eq. 3), fused
+  into a single forward and a single hand-written backward;
+* ``segment_sum`` / ``segment_gather`` — the embedding-aggregation
+  scatter/gather pair of Algorithm 1 (they are adjoint, so each one's
+  backward is the other's forward);
+* ``linear`` — affine map over the last dimension;
+* ``layer_norm`` — normalization over the last dimension.
+
+:mod:`repro.kernels.functional` wraps these into autograd nodes; attention
+mechanisms and ``nn`` modules call the functional layer, never a backend
+directly.  Swapping the active backend therefore changes the execution
+strategy of the entire model without touching model code — the seam where
+future backends (sharding, caching, alternative array libraries) plug in.
+
+Two backends ship today: this module's straightforward NumPy *reference*
+backend (the semantics oracle the tests gradcheck against) and the
+optimized *fused* backend in :mod:`repro.kernels.fused` (default).  Select
+with :func:`set_backend` / :func:`use_backend` or the
+``RITA_KERNEL_BACKEND`` environment variable.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+
+__all__ = [
+    "KernelBackend",
+    "NumpyReferenceBackend",
+    "register_backend",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+    "BACKEND_ENV_VAR",
+]
+
+#: Environment variable consulted on first use for the initial backend.
+BACKEND_ENV_VAR = "RITA_KERNEL_BACKEND"
+
+
+def _leading_axes(array: np.ndarray) -> tuple[int, ...]:
+    """All axes except the last (parameter-gradient reduction axes)."""
+    return tuple(range(array.ndim - 1))
+
+
+def _flatten_batch(values: np.ndarray) -> tuple[np.ndarray, tuple[int, ...], int]:
+    """View ``(..., n, d)`` as ``(batch, n, d)``; returns (view, batch_shape, batch)."""
+    batch_shape = values.shape[:-2]
+    batch = int(np.prod(batch_shape)) if batch_shape else 1
+    return values.reshape(batch, values.shape[-2], values.shape[-1]), batch_shape, batch
+
+
+class KernelBackend:
+    """Interface every kernel backend implements.
+
+    Forward methods return plain ``np.ndarray`` results (plus caches where
+    the backward needs saved intermediates); backward methods map an
+    incoming gradient to input gradients.  Backends are stateless from the
+    caller's perspective — any internal scratch reuse must not leak into
+    returned arrays.
+    """
+
+    name: str = "abstract"
+
+    # -- softmax family -------------------------------------------------
+    def softmax(self, x: np.ndarray, axis: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def softmax_backward(self, grad: np.ndarray, out: np.ndarray, axis: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def log_softmax(self, x: np.ndarray, axis: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def log_softmax_backward(self, grad: np.ndarray, out: np.ndarray, axis: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def group_softmax(self, scores: np.ndarray, counts: np.ndarray) -> np.ndarray:
+        """Count-weighted softmax ``A_ij = e_ij / sum_k c_k e_ik`` (Eq. 3)."""
+        raise NotImplementedError
+
+    def group_softmax_backward(
+        self, grad: np.ndarray, attn: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    # -- segment scatter/gather -----------------------------------------
+    def segment_sum(
+        self, values: np.ndarray, segment_ids: np.ndarray, num_segments: int
+    ) -> np.ndarray:
+        """Sum ``(..., n, d)`` rows into ``(..., N, d)`` segments."""
+        raise NotImplementedError
+
+    def segment_gather(self, values: np.ndarray, segment_ids: np.ndarray) -> np.ndarray:
+        """Gather ``(..., N, d)`` rows back to ``(..., n, d)`` elements."""
+        raise NotImplementedError
+
+    # -- affine ----------------------------------------------------------
+    def linear(
+        self, x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None
+    ) -> np.ndarray:
+        raise NotImplementedError
+
+    def linear_backward(
+        self,
+        grad: np.ndarray,
+        x: np.ndarray,
+        weight: np.ndarray,
+        need_bias: bool,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        raise NotImplementedError
+
+    # -- layer norm -------------------------------------------------------
+    def layer_norm(
+        self, x: np.ndarray, weight: np.ndarray, bias: np.ndarray, eps: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Returns ``(out, xhat, inv_std)``; the caches feed the backward."""
+        raise NotImplementedError
+
+    def layer_norm_infer(
+        self, x: np.ndarray, weight: np.ndarray, bias: np.ndarray, eps: float
+    ) -> np.ndarray:
+        """Forward-only layer norm: no caches (the no-grad fast path)."""
+        out, _, _ = self.layer_norm(x, weight, bias, eps)
+        return out
+
+    def layer_norm_backward(
+        self,
+        grad: np.ndarray,
+        xhat: np.ndarray,
+        inv_std: np.ndarray,
+        weight: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        raise NotImplementedError
+
+
+class NumpyReferenceBackend(KernelBackend):
+    """Plain-NumPy kernels written for clarity, not speed.
+
+    This is the semantics oracle: the fused backend (and any future one)
+    must match it bit-for-tolerance, which ``tests/kernels`` enforces with
+    gradchecks and cross-backend parity assertions.
+    """
+
+    name = "reference"
+
+    # -- softmax family -------------------------------------------------
+    def softmax(self, x: np.ndarray, axis: int) -> np.ndarray:
+        shifted = x - x.max(axis=axis, keepdims=True)
+        exps = np.exp(shifted)
+        return exps / exps.sum(axis=axis, keepdims=True)
+
+    def softmax_backward(self, grad: np.ndarray, out: np.ndarray, axis: int) -> np.ndarray:
+        dot = (grad * out).sum(axis=axis, keepdims=True)
+        return out * (grad - dot)
+
+    def log_softmax(self, x: np.ndarray, axis: int) -> np.ndarray:
+        shifted = x - x.max(axis=axis, keepdims=True)
+        return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+
+    def log_softmax_backward(self, grad: np.ndarray, out: np.ndarray, axis: int) -> np.ndarray:
+        return grad - np.exp(out) * grad.sum(axis=axis, keepdims=True)
+
+    def group_softmax(self, scores: np.ndarray, counts: np.ndarray) -> np.ndarray:
+        shifted = scores - scores.max(axis=-1, keepdims=True)
+        exps = np.exp(shifted)
+        denom = (exps * counts[..., None, :]).sum(axis=-1, keepdims=True)
+        return exps / denom
+
+    def group_softmax_backward(
+        self, grad: np.ndarray, attn: np.ndarray, counts: np.ndarray
+    ) -> np.ndarray:
+        # d/ds_il of A_ij = e_ij / sum_k c_k e_ik gives
+        # grad_s = A * (g - c * sum_j g_ij A_ij).
+        dot = (grad * attn).sum(axis=-1, keepdims=True)
+        return attn * (grad - counts[..., None, :] * dot)
+
+    # -- segment scatter/gather -----------------------------------------
+    def segment_sum(
+        self, values: np.ndarray, segment_ids: np.ndarray, num_segments: int
+    ) -> np.ndarray:
+        flat, batch_shape, batch = _flatten_batch(values)
+        n, d = flat.shape[-2:]
+        ids = segment_ids.reshape(batch, n)
+        out = np.zeros((batch * num_segments, d), dtype=values.dtype)
+        offsets = np.arange(batch, dtype=np.int64)[:, None] * num_segments
+        np.add.at(out, (ids + offsets).reshape(-1), flat.reshape(-1, d))
+        return out.reshape(*batch_shape, num_segments, d)
+
+    def segment_gather(self, values: np.ndarray, segment_ids: np.ndarray) -> np.ndarray:
+        flat, batch_shape, batch = _flatten_batch(values)
+        num_segments, d = flat.shape[-2:]
+        n = segment_ids.shape[-1]
+        ids = segment_ids.reshape(batch, n)
+        offsets = np.arange(batch, dtype=np.int64)[:, None] * num_segments
+        flat_index = (ids + offsets).reshape(-1)
+        return flat.reshape(-1, d)[flat_index].reshape(*batch_shape, n, d)
+
+    # -- affine ----------------------------------------------------------
+    def linear(
+        self, x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None
+    ) -> np.ndarray:
+        out = x @ weight.T
+        if bias is not None:
+            out = out + bias
+        return out
+
+    def linear_backward(
+        self,
+        grad: np.ndarray,
+        x: np.ndarray,
+        weight: np.ndarray,
+        need_bias: bool,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+        grad_x = grad @ weight
+        axes = _leading_axes(grad)
+        grad_w = np.tensordot(grad, x, axes=(axes, axes))
+        grad_b = grad.sum(axis=axes) if need_bias else None
+        return grad_x, grad_w, grad_b
+
+    # -- layer norm -------------------------------------------------------
+    def layer_norm(
+        self, x: np.ndarray, weight: np.ndarray, bias: np.ndarray, eps: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        mu = x.mean(axis=-1, keepdims=True)
+        centered = x - mu
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        inv_std = 1.0 / np.sqrt(variance + eps)
+        xhat = centered * inv_std
+        return xhat * weight + bias, xhat, inv_std
+
+    def layer_norm_backward(
+        self,
+        grad: np.ndarray,
+        xhat: np.ndarray,
+        inv_std: np.ndarray,
+        weight: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        grad_xhat = grad * weight
+        mean_g = grad_xhat.mean(axis=-1, keepdims=True)
+        mean_gx = (grad_xhat * xhat).mean(axis=-1, keepdims=True)
+        grad_x = (grad_xhat - mean_g - xhat * mean_gx) * inv_std
+        axes = _leading_axes(grad)
+        grad_w = (grad * xhat).sum(axis=axes)
+        grad_b = grad.sum(axis=axes)
+        return grad_x, grad_w, grad_b
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_BACKENDS: dict[str, KernelBackend] = {}
+_ACTIVE: KernelBackend | None = None
+
+
+def register_backend(backend: KernelBackend, activate: bool = False) -> KernelBackend:
+    """Add ``backend`` to the registry (and optionally make it active)."""
+    _BACKENDS[backend.name] = backend
+    if activate:
+        set_backend(backend.name)
+    return backend
+
+
+def available_backends() -> list[str]:
+    """Registered backend names."""
+    _ensure_initialized()
+    return sorted(_BACKENDS)
+
+
+def _ensure_initialized() -> None:
+    global _ACTIVE
+    if _ACTIVE is not None:
+        return
+    # Import registers the fused backend; deferred to avoid an import cycle.
+    from repro.kernels import fused  # noqa: F401
+
+    register_backend(NumpyReferenceBackend())
+    initial = os.environ.get(BACKEND_ENV_VAR, fused.FusedNumpyBackend.name)
+    if initial not in _BACKENDS:
+        raise ConfigError(
+            f"unknown kernel backend {initial!r}; available: {sorted(_BACKENDS)}"
+        )
+    _ACTIVE = _BACKENDS[initial]
+
+
+def get_backend(name: str | None = None) -> KernelBackend:
+    """The active backend, or a specific registered one by ``name``."""
+    _ensure_initialized()
+    if name is None:
+        assert _ACTIVE is not None
+        return _ACTIVE
+    try:
+        return _BACKENDS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown kernel backend {name!r}; available: {sorted(_BACKENDS)}"
+        ) from None
+
+
+def set_backend(name: str) -> str:
+    """Make ``name`` the active backend; returns the previous active name."""
+    global _ACTIVE
+    _ensure_initialized()
+    assert _ACTIVE is not None
+    previous = _ACTIVE.name
+    _ACTIVE = get_backend(name)
+    return previous
+
+
+@contextlib.contextmanager
+def use_backend(name: str):
+    """Temporarily activate a backend.
+
+    >>> with use_backend("reference"):
+    ...     out = model.classify(x)    # runs on the reference kernels
+    """
+    previous = set_backend(name)
+    try:
+        yield get_backend()
+    finally:
+        set_backend(previous)
+
+
+def _check_segment_shapes(values_shape, ids_shape, gather: bool) -> None:
+    """Shared validation for the functional layer's segment ops."""
+    if gather:
+        if ids_shape[:-1] != values_shape[:-2]:
+            raise ShapeError(
+                f"segment_ids batch shape {ids_shape[:-1]} must match "
+                f"values batch shape {values_shape[:-2]}"
+            )
+    elif ids_shape != values_shape[:-1]:
+        raise ShapeError(
+            f"segment_ids shape {ids_shape} must match values shape {values_shape[:-1]}"
+        )

@@ -1,0 +1,333 @@
+"""Autograd-level kernel operations.
+
+Each function here is a *single* graph node: the forward runs on the
+active :mod:`repro.kernels.backend`, and the backward is one hand-written
+closure instead of a chain of small autograd ops.  This is where the
+compute stack gets its constant factors back — e.g. the group softmax of
+paper Eq. 3 used to be five recorded ops (sub, exp, mul, sum, div); it is
+now one node whose backward is a single fused expression.
+
+Every op also has a **no-grad fast path**: when gradients are globally
+disabled (``repro.no_grad``) or no input requires grad, the op returns a
+bare tensor without building a closure or saving backward caches, so
+inference skips graph construction entirely.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special as _special
+
+from repro.autograd.tensor import Tensor, as_tensor, is_grad_enabled, unbroadcast
+from repro.errors import ShapeError
+from repro.kernels.backend import _check_segment_shapes, get_backend
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "fused_group_softmax",
+    "segment_sum",
+    "segment_gather",
+    "linear",
+    "layer_norm",
+    "relu",
+    "gelu",
+    "cross_entropy",
+    "mse",
+    "masked_mse",
+    "l1",
+    "performer_phi",
+]
+
+_SQRT_2 = math.sqrt(2.0)
+_SQRT_2_PI = math.sqrt(2.0 * math.pi)
+
+
+def _recording(*tensors: Tensor) -> bool:
+    """True when this op must build a graph node."""
+    return is_grad_enabled() and any(t.requires_grad for t in tensors)
+
+
+def _constant(values) -> np.ndarray:
+    """Coerce a non-differentiable operand to a plain array."""
+    return values.data if isinstance(values, Tensor) else np.asarray(values)
+
+
+# ----------------------------------------------------------------------
+# Softmax family
+# ----------------------------------------------------------------------
+def softmax(a, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis`` on the active backend."""
+    a = as_tensor(a)
+    backend = get_backend()
+    out_data = backend.softmax(a.data, axis)
+    if not _recording(a):
+        return Tensor(out_data)
+
+    def backward(grad):
+        return (backend.softmax_backward(grad, out_data, axis),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def log_softmax(a, axis: int = -1) -> Tensor:
+    """Numerically stable log-softmax along ``axis``."""
+    a = as_tensor(a)
+    backend = get_backend()
+    out_data = backend.log_softmax(a.data, axis)
+    if not _recording(a):
+        return Tensor(out_data)
+
+    def backward(grad):
+        return (backend.log_softmax_backward(grad, out_data, axis),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def fused_group_softmax(scores, counts) -> Tensor:
+    """The paper's group softmax (Eq. 3) as one fused kernel.
+
+    ``A_ij = exp(s_ij) / sum_k count_k exp(s_ik)`` — each group's
+    exponentiated score counts ``count_k`` times in the denominator so the
+    compressed ``(n, N)`` score matrix normalizes exactly like the full
+    ``(n, n)`` one would.  ``counts`` has shape ``(..., N)`` matching the
+    ``(..., n, N)`` scores and is treated as a constant.
+    """
+    scores = as_tensor(scores)
+    counts_arr = _constant(counts)
+    expected = scores.shape[:-2] + scores.shape[-1:]
+    if counts_arr.shape != expected:
+        raise ShapeError(
+            f"counts shape {counts_arr.shape} must be {expected} for scores {scores.shape}"
+        )
+    backend = get_backend()
+    attn = backend.group_softmax(scores.data, counts_arr)
+    if not _recording(scores):
+        return Tensor(attn)
+
+    def backward(grad):
+        return (backend.group_softmax_backward(grad, attn, counts_arr),)
+
+    return Tensor._make(attn, (scores,), backward)
+
+
+# ----------------------------------------------------------------------
+# Segment scatter/gather (embedding aggregation, Alg. 1 line 3)
+# ----------------------------------------------------------------------
+def segment_sum(values, segment_ids, num_segments: int) -> Tensor:
+    """Sum ``(..., n, d)`` rows into ``(..., N, d)`` segments.
+
+    ``segment_ids`` is an integer array (constant).  The backward is the
+    adjoint :func:`segment_gather` of the incoming gradient.
+    """
+    values = as_tensor(values)
+    ids = np.asarray(_constant(segment_ids), dtype=np.int64)
+    _check_segment_shapes(values.shape, ids.shape, gather=False)
+    backend = get_backend()
+    out_data = backend.segment_sum(values.data, ids, int(num_segments))
+    if not _recording(values):
+        return Tensor(out_data)
+
+    def backward(grad):
+        return (backend.segment_gather(grad, ids),)
+
+    return Tensor._make(out_data, (values,), backward)
+
+
+def segment_gather(values, segment_ids) -> Tensor:
+    """Gather ``(..., N, d)`` segment rows back to ``(..., n, d)`` elements."""
+    values = as_tensor(values)
+    ids = np.asarray(_constant(segment_ids), dtype=np.int64)
+    _check_segment_shapes(values.shape, ids.shape, gather=True)
+    backend = get_backend()
+    num_segments = values.shape[-2]
+    out_data = backend.segment_gather(values.data, ids)
+    if not _recording(values):
+        return Tensor(out_data)
+
+    def backward(grad):
+        return (backend.segment_sum(grad, ids, num_segments).reshape(values.shape),)
+
+    return Tensor._make(out_data, (values,), backward)
+
+
+# ----------------------------------------------------------------------
+# Affine / normalization
+# ----------------------------------------------------------------------
+def linear(x, weight, bias=None) -> Tensor:
+    """Fused affine map ``y = x W^T + b`` over the last dimension."""
+    x, weight = as_tensor(x), as_tensor(weight)
+    bias_t = as_tensor(bias) if bias is not None else None
+    backend = get_backend()
+    out_data = backend.linear(x.data, weight.data, bias_t.data if bias_t is not None else None)
+    parents = (x, weight) if bias_t is None else (x, weight, bias_t)
+    if not _recording(*parents):
+        return Tensor(out_data)
+
+    def backward(grad):
+        grad_x, grad_w, grad_b = backend.linear_backward(
+            grad, x.data, weight.data, bias_t is not None
+        )
+        if bias_t is None:
+            return (grad_x, grad_w)
+        return (grad_x, grad_w, grad_b)
+
+    return Tensor._make(out_data, parents, backward)
+
+
+def layer_norm(x, weight, bias, eps: float = 1e-5) -> Tensor:
+    """Fused layer normalization over the last dimension."""
+    x, weight, bias = as_tensor(x), as_tensor(weight), as_tensor(bias)
+    backend = get_backend()
+    if not _recording(x, weight, bias):
+        return Tensor(backend.layer_norm_infer(x.data, weight.data, bias.data, eps))
+    out_data, xhat, inv_std = backend.layer_norm(x.data, weight.data, bias.data, eps)
+
+    def backward(grad):
+        return backend.layer_norm_backward(grad, xhat, inv_std, weight.data)
+
+    return Tensor._make(out_data, (x, weight, bias), backward)
+
+
+# ----------------------------------------------------------------------
+# Activations (backend-agnostic fused nodes)
+# ----------------------------------------------------------------------
+def relu(a) -> Tensor:
+    """Rectified linear unit; the no-grad path skips the mask entirely."""
+    a = as_tensor(a)
+    if not _recording(a):
+        return Tensor(np.maximum(a.data, 0.0))
+    mask = a.data > 0
+    out_data = np.where(mask, a.data, 0.0)
+
+    def backward(grad):
+        return (grad * mask,)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def gelu(a) -> Tensor:
+    """Exact (erf-based) Gaussian error linear unit."""
+    a = as_tensor(a)
+    x = a.data
+    cdf = 0.5 * (1.0 + _special.erf(x / _SQRT_2))
+    out_data = x * cdf
+    if not _recording(a):
+        return Tensor(out_data)
+
+    def backward(grad):
+        pdf = np.exp(-0.5 * x * x) / _SQRT_2_PI
+        return (grad * (cdf + x * pdf),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+# ----------------------------------------------------------------------
+# Fused losses
+# ----------------------------------------------------------------------
+def cross_entropy(logits, targets) -> Tensor:
+    """Mean cross entropy between ``(B, C)`` logits and int targets, fused.
+
+    One node replaces the log-softmax / gather / mean chain; the backward
+    is the classic ``(softmax - onehot) / B``.
+    """
+    logits = as_tensor(logits)
+    target_idx = np.asarray(_constant(targets)).astype(np.int64)
+    backend = get_backend()
+    log_probs = backend.log_softmax(logits.data, -1)
+    batch = logits.shape[0]
+    rows = np.arange(batch)
+    loss = -log_probs[rows, target_idx].mean(dtype=np.float64)
+    out_data = np.asarray(loss, dtype=logits.dtype)
+    if not _recording(logits):
+        return Tensor(out_data)
+
+    def backward(grad):
+        grad_logits = np.exp(log_probs)
+        grad_logits[rows, target_idx] -= 1.0
+        grad_logits *= grad / batch
+        return (grad_logits,)
+
+    return Tensor._make(out_data, (logits,), backward)
+
+
+def mse(prediction, target) -> Tensor:
+    """Mean squared error over all elements as a single node."""
+    prediction = as_tensor(prediction)
+    diff = prediction.data - _constant(target).astype(prediction.dtype, copy=False)
+    out_data = np.asarray((diff * diff).mean(dtype=np.float64), dtype=prediction.dtype)
+    if not _recording(prediction):
+        return Tensor(out_data)
+
+    def backward(grad):
+        return (unbroadcast(grad * (2.0 / diff.size) * diff, prediction.shape),)
+
+    return Tensor._make(out_data, (prediction,), backward)
+
+
+def masked_mse(prediction, target, mask) -> Tensor:
+    """MSE restricted to true positions of ``mask`` (imputation objective)."""
+    prediction = as_tensor(prediction)
+    mask_arr = np.asarray(_constant(mask), dtype=bool)
+    count = int(mask_arr.sum())
+    if count == 0:
+        raise ShapeError("masked_mse received an empty mask")
+    diff = prediction.data - _constant(target).astype(prediction.dtype, copy=False)
+    diff = diff * mask_arr
+    out_data = np.asarray((diff * diff).sum(dtype=np.float64) / count, dtype=prediction.dtype)
+    if not _recording(prediction):
+        return Tensor(out_data)
+
+    def backward(grad):
+        return (unbroadcast(grad * (2.0 / count) * diff, prediction.shape),)
+
+    return Tensor._make(out_data, (prediction,), backward)
+
+
+def l1(prediction, target) -> Tensor:
+    """Mean absolute error over all elements as a single node."""
+    prediction = as_tensor(prediction)
+    diff = prediction.data - _constant(target).astype(prediction.dtype, copy=False)
+    out_data = np.asarray(np.abs(diff).mean(dtype=np.float64), dtype=prediction.dtype)
+    if not _recording(prediction):
+        return Tensor(out_data)
+
+    def backward(grad):
+        return (unbroadcast(grad * np.sign(diff) / diff.size, prediction.shape),)
+
+    return Tensor._make(out_data, (prediction,), backward)
+
+
+# ----------------------------------------------------------------------
+# Performer feature map
+# ----------------------------------------------------------------------
+def performer_phi(x, omega: np.ndarray) -> Tensor:
+    """FAVOR+ positive random feature map as one fused node.
+
+    ``phi(x) = exp(x . w - |x|^2 / 2 - shift) / sqrt(m)`` with ``omega`` of
+    shape ``(m, d)`` treated as a constant and ``shift`` the global max of
+    the logits (it cancels in the attention normalizer).  Replaces the
+    projection / square-norm / exp chain of ~6 recorded ops.
+    """
+    x = as_tensor(x)
+    omega = np.asarray(omega)
+    m = omega.shape[0]
+    logits = x.data @ omega.T
+    sq_norm = 0.5 * np.einsum("...d,...d->...", x.data, x.data, optimize=True)[..., None]
+    logits -= sq_norm
+    logits -= logits.max()
+    np.exp(logits, out=logits)
+    logits *= 1.0 / math.sqrt(m)
+    out_data = logits
+    if not _recording(x):
+        return Tensor(out_data)
+
+    def backward(grad):
+        grad_logits = grad * out_data
+        grad_x = grad_logits @ omega
+        grad_x -= x.data * grad_logits.sum(axis=-1, keepdims=True)
+        return (grad_x,)
+
+    return Tensor._make(out_data, (x,), backward)

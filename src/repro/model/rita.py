@@ -14,12 +14,15 @@ Heads (paper Sec. A.7):
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 from repro.attention.group import GroupAttention
 from repro.autograd import ops
-from repro.autograd.tensor import Tensor, as_tensor
+from repro.autograd.tensor import Tensor, as_tensor, no_grad
 from repro.errors import ConfigError, ShapeError
+from repro.kernels.policy import get_default_dtype
 from repro.model.config import RitaConfig
 from repro.model.encoder import RitaEncoder
 from repro.nn import Conv1d, ConvTranspose1d, LearnedPositionalEmbedding, Linear, Module, Parameter, init
@@ -91,8 +94,12 @@ class RitaModel(Module):
 
         ``cls_embedding``: ``(B, d)`` — the series-level representation.
         ``window_embeddings``: ``(B, n, d)`` — per-window representations.
+
+        Incoming series are cast to the policy compute dtype (float32 by
+        default) so the whole forward pass runs in one dtype; float64
+        datasets do not silently promote a float32 model.
         """
-        series = as_tensor(series)
+        series = ops.astype(as_tensor(series), get_default_dtype())
         windows = self.frontend(series)  # (B, n, d)
         batch = windows.shape[0]
         cls = ops.broadcast_to(self.cls_token, (batch, 1, self.config.dim))
@@ -129,11 +136,45 @@ class RitaModel(Module):
             )
         return decoded[:, :length, :]
 
+    # ------------------------------------------------------------------
+    # Inference fast paths (no graph construction)
+    # ------------------------------------------------------------------
+    @contextlib.contextmanager
+    def _inference(self):
+        """Eval mode + ``no_grad`` for the duration; restores training mode."""
+        was_training = self.training
+        if was_training:
+            self.eval()
+        try:
+            with no_grad():
+                yield
+        finally:
+            if was_training:
+                self.train()
+
+    def predict_logits(self, series) -> np.ndarray:
+        """Class logits on the inference fast path.
+
+        Runs in eval mode (dropout off) under ``no_grad``, so no autograd
+        graph is built and the kernel layer skips backward caches
+        (layer-norm statistics, relu masks); prediction allocates only
+        forward activations.  Training mode is restored afterwards.
+        """
+        with self._inference():
+            return self.classify(series).data
+
+    def predict(self, series) -> np.ndarray:
+        """Predicted class ids ``(B,)`` via :meth:`predict_logits`."""
+        return self.predict_logits(series).argmax(axis=-1)
+
+    def predict_series(self, series) -> np.ndarray:
+        """Reconstructed series on the inference fast path (imputation/forecasting)."""
+        with self._inference():
+            return self.reconstruct(series).data
+
     def embed(self, series) -> np.ndarray:
         """Series-level embedding as a NumPy array (A.7.4; no grad)."""
-        from repro.autograd.tensor import no_grad
-
-        with no_grad():
+        with self._inference():
             cls_embedding, _ = self.encode(series)
         return cls_embedding.data
 

@@ -1,9 +1,15 @@
-"""Activation modules."""
+"""Activation modules (routed through the kernel layer).
+
+ReLU and GELU dispatch to :mod:`repro.kernels.functional`, whose no-grad
+fast paths skip mask/cache construction during inference; Tanh and Sigmoid
+stay on the single-node autograd ops.
+"""
 
 from __future__ import annotations
 
 from repro.autograd import ops
 from repro.autograd.tensor import Tensor
+from repro.kernels import functional as kernels
 from repro.nn.module import Module
 
 __all__ = ["ReLU", "GELU", "Tanh", "Sigmoid"]
@@ -13,14 +19,14 @@ class ReLU(Module):
     """Rectified linear unit."""
 
     def forward(self, x: Tensor) -> Tensor:
-        return ops.relu(x)
+        return kernels.relu(x)
 
 
 class GELU(Module):
     """Gaussian error linear unit (exact erf form)."""
 
     def forward(self, x: Tensor) -> Tensor:
-        return ops.gelu(x)
+        return kernels.gelu(x)
 
 
 class Tanh(Module):

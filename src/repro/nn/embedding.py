@@ -38,10 +38,16 @@ class Embedding(Module):
 
 
 def sinusoidal_table(max_len: int, dim: int) -> np.ndarray:
-    """The fixed sin/cos positional table of Vaswani et al."""
+    """The fixed sin/cos positional table of Vaswani et al.
+
+    Emitted in the policy compute dtype so adding it does not promote a
+    float32 activation stream to float64.
+    """
+    from repro.kernels.policy import get_default_dtype
+
     position = np.arange(max_len)[:, None]
     div = np.exp(np.arange(0, dim, 2) * (-np.log(10000.0) / dim))
-    table = np.zeros((max_len, dim))
+    table = np.zeros((max_len, dim), dtype=get_default_dtype())
     table[:, 0::2] = np.sin(position * div)
     table[:, 1::2] = np.cos(position * div[: dim // 2])
     return table

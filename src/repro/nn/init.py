@@ -1,4 +1,9 @@
-"""Weight initialization schemes."""
+"""Weight initialization schemes.
+
+Every initializer returns an array in the policy compute dtype (see
+:mod:`repro.kernels.policy`), so model parameters follow the process-wide
+``float32``/``float64`` setting without per-layer plumbing.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +11,14 @@ import math
 
 import numpy as np
 
+from repro.kernels.policy import get_default_dtype
 from repro.rng import get_rng
 
-__all__ = ["xavier_uniform", "kaiming_uniform", "normal", "zeros", "uniform"]
+__all__ = ["xavier_uniform", "kaiming_uniform", "normal", "zeros", "ones", "uniform"]
+
+
+def _policy(array: np.ndarray) -> np.ndarray:
+    return array.astype(get_default_dtype(), copy=False)
 
 
 def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator | None = None, gain: float = 1.0) -> np.ndarray:
@@ -18,7 +28,7 @@ def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator | None = Non
     fan_in = shape[1] * receptive if len(shape) > 1 else shape[0]
     fan_out = shape[0] * receptive
     bound = gain * math.sqrt(6.0 / (fan_in + fan_out))
-    return generator.uniform(-bound, bound, size=shape)
+    return _policy(generator.uniform(-bound, bound, size=shape))
 
 
 def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
@@ -27,19 +37,24 @@ def kaiming_uniform(shape: tuple[int, ...], rng: np.random.Generator | None = No
     receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
     fan_in = shape[1] * receptive if len(shape) > 1 else shape[0]
     bound = math.sqrt(6.0 / fan_in)
-    return generator.uniform(-bound, bound, size=shape)
+    return _policy(generator.uniform(-bound, bound, size=shape))
 
 
 def normal(shape: tuple[int, ...], std: float = 0.02, rng: np.random.Generator | None = None) -> np.ndarray:
     """Gaussian init with the given standard deviation."""
-    return get_rng(rng).normal(0.0, std, size=shape)
+    return _policy(get_rng(rng).normal(0.0, std, size=shape))
 
 
 def uniform(shape: tuple[int, ...], bound: float, rng: np.random.Generator | None = None) -> np.ndarray:
     """Uniform init on ``[-bound, bound]``."""
-    return get_rng(rng).uniform(-bound, bound, size=shape)
+    return _policy(get_rng(rng).uniform(-bound, bound, size=shape))
 
 
 def zeros(shape: tuple[int, ...]) -> np.ndarray:
     """All-zeros init (biases)."""
-    return np.zeros(shape)
+    return np.zeros(shape, dtype=get_default_dtype())
+
+
+def ones(shape: tuple[int, ...]) -> np.ndarray:
+    """All-ones init (normalization gains)."""
+    return np.ones(shape, dtype=get_default_dtype())

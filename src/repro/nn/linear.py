@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.kernels import functional as kernels
 from repro.nn import init
 from repro.nn.module import Module, Parameter
 
@@ -38,10 +39,9 @@ class Linear(Module):
         self.bias = Parameter(init.zeros((out_features,))) if bias else None
 
     def forward(self, x: Tensor) -> Tensor:
-        out = x @ self.weight.T
-        if self.bias is not None:
-            out = out + self.bias
-        return out
+        # One fused kernel node (single GEMM over flattened leading dims)
+        # instead of a matmul + transpose + add chain.
+        return kernels.linear(x, self.weight, self.bias)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"

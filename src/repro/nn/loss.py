@@ -1,17 +1,22 @@
-"""Loss functions used by RITA's tasks.
+"""Loss functions used by RITA's tasks (fused kernel nodes).
 
 * Classification uses cross entropy over ``[CLS]`` logits (paper A.7.1).
 * Imputation/forecasting use mean squared error restricted to masked
   positions (paper A.7.2): ``L = 1/|M| sum_{(i,j) in M} (Y - T_r)^2``.
+
+Each loss is a single autograd node from :mod:`repro.kernels.functional`
+— e.g. cross entropy's backward is the classic ``(softmax - onehot) / B``
+instead of a recorded log-softmax / gather / mean chain.  Targets are cast
+to the prediction dtype so float64 labels do not promote a float32 model.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.autograd import ops
-from repro.autograd.tensor import Tensor, as_tensor
+from repro.autograd.tensor import Tensor
 from repro.errors import ShapeError
+from repro.kernels import functional as kernels
 from repro.nn.module import Module
 
 __all__ = ["CrossEntropyLoss", "MSELoss", "MaskedMSELoss", "L1Loss"]
@@ -30,18 +35,14 @@ class CrossEntropyLoss(Module):
             raise ShapeError(
                 f"targets shape {targets.shape} incompatible with logits {logits.shape}"
             )
-        log_probs = ops.log_softmax(logits, axis=-1)
-        picked = log_probs[np.arange(batch), targets]
-        return -picked.mean()
+        return kernels.cross_entropy(logits, targets)
 
 
 class MSELoss(Module):
     """Mean squared error over all elements."""
 
     def forward(self, prediction: Tensor, target) -> Tensor:
-        target = as_tensor(target).detach()
-        diff = prediction - target
-        return (diff * diff).mean()
+        return kernels.mse(prediction, target)
 
 
 class MaskedMSELoss(Module):
@@ -52,19 +53,11 @@ class MaskedMSELoss(Module):
     """
 
     def forward(self, prediction: Tensor, target, mask) -> Tensor:
-        target = as_tensor(target).detach()
-        mask_arr = np.asarray(mask.data if isinstance(mask, Tensor) else mask, dtype=bool)
-        count = int(mask_arr.sum())
-        if count == 0:
-            raise ShapeError("MaskedMSELoss received an empty mask")
-        diff = prediction - target
-        masked = diff * mask_arr
-        return (masked * masked).sum() / count
+        return kernels.masked_mse(prediction, target, mask)
 
 
 class L1Loss(Module):
     """Mean absolute error over all elements."""
 
     def forward(self, prediction: Tensor, target) -> Tensor:
-        target = as_tensor(target).detach()
-        return ops.abs_(prediction - target).mean()
+        return kernels.l1(prediction, target)

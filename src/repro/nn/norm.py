@@ -11,31 +11,29 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.errors import ShapeError
+from repro.kernels import functional as kernels
+from repro.nn import init
 from repro.nn.module import Module, Parameter
 
 __all__ = ["LayerNorm", "BatchNorm1d"]
 
 
 class LayerNorm(Module):
-    """Layer normalization over the last dimension."""
+    """Layer normalization over the last dimension (fused kernel)."""
 
     def __init__(self, normalized_size: int, eps: float = 1e-5) -> None:
         super().__init__()
         self.normalized_size = normalized_size
         self.eps = eps
-        self.weight = Parameter(np.ones(normalized_size))
-        self.bias = Parameter(np.zeros(normalized_size))
+        self.weight = Parameter(init.ones((normalized_size,)))
+        self.bias = Parameter(init.zeros((normalized_size,)))
 
     def forward(self, x: Tensor) -> Tensor:
         if x.shape[-1] != self.normalized_size:
             raise ShapeError(
                 f"LayerNorm expected last dim {self.normalized_size}, got {x.shape[-1]}"
             )
-        mu = x.mean(axis=-1, keepdims=True)
-        centered = x - mu
-        variance = (centered * centered).mean(axis=-1, keepdims=True)
-        normalized = centered / (variance + self.eps).sqrt()
-        return normalized * self.weight + self.bias
+        return kernels.layer_norm(x, self.weight, self.bias, eps=self.eps)
 
 
 class BatchNorm1d(Module):
@@ -51,10 +49,10 @@ class BatchNorm1d(Module):
         self.num_features = num_features
         self.eps = eps
         self.momentum = momentum
-        self.weight = Parameter(np.ones(num_features))
-        self.bias = Parameter(np.zeros(num_features))
-        self.running_mean = np.zeros(num_features)
-        self.running_var = np.ones(num_features)
+        self.weight = Parameter(init.ones((num_features,)))
+        self.bias = Parameter(init.zeros((num_features,)))
+        self.running_mean = init.zeros((num_features,))
+        self.running_var = init.ones((num_features,))
 
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim == 2:

@@ -88,14 +88,22 @@ def _sum_grouping_seconds(model) -> float:
 
 
 def evaluate_task(model, task, dataset: ArrayDataset, batch_size: int = 64) -> dict[str, float]:
-    """Run ``task.evaluate`` over a dataset and summarize (eval mode)."""
+    """Run ``task.evaluate`` over a dataset and summarize (eval mode).
+
+    Runs under ``no_grad`` so evaluation takes the inference fast path —
+    no autograd graph, no backward caches — regardless of whether the
+    task's ``evaluate`` disables gradients itself.
+    """
+    from repro.autograd.tensor import no_grad
+
     was_training = model.training
     model.eval()
     totals: dict[str, float] = {}
     loader = DataLoader(dataset, batch_size=batch_size)
-    for batch in loader:
-        for key, value in task.evaluate(model, batch).items():
-            totals[key] = totals.get(key, 0.0) + value
+    with no_grad():
+        for batch in loader:
+            for key, value in task.evaluate(model, batch).items():
+                totals[key] = totals.get(key, 0.0) + value
     if was_training:
         model.train()
     return task.summarize(totals)

@@ -6,6 +6,21 @@ import numpy as np
 import pytest
 
 import repro
+import repro.kernels
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _float64_policy():
+    """Run the suite under the float64 compute policy.
+
+    The library default is float32 (production inference speed); the test
+    suite pins float64 so numerical gradient checks stay sharp and seed
+    tolerances keep their original meaning.  Kernel dtype-parity tests
+    opt into float32 explicitly via ``repro.kernels.dtype_scope``.
+    """
+    previous = repro.kernels.set_default_dtype(np.float64)
+    yield
+    repro.kernels.set_default_dtype(previous)
 
 
 @pytest.fixture

@@ -51,6 +51,7 @@ class TestClassificationPipeline:
 
 
 class TestImputationPipeline:
+    @pytest.mark.slow
     def test_mgh_has_oom_rows(self):
         rows = run_imputation("mgh", scale=SMOKE, seed=1)
         notes = {r["method"]: r["note"] for r in rows}

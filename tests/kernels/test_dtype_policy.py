@@ -1,0 +1,104 @@
+"""Dtype policy: coercion rules, constructor plumbing, module parameters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.kernels as K
+from repro import nn
+from repro.autograd import ops
+from repro.autograd.tensor import Tensor, arange, full, ones, rand, randn, zeros
+from repro.errors import ConfigError
+
+
+class TestPolicyScoping:
+    def test_suite_runs_under_float64(self):
+        # tests/conftest.py pins float64 for seed-numerics compatibility.
+        assert K.get_default_dtype() == np.float64
+
+    def test_scope_restores_previous(self):
+        before = K.get_default_dtype()
+        with K.dtype_scope("float32"):
+            assert K.get_default_dtype() == np.float32
+        assert K.get_default_dtype() == before
+
+    def test_aliases(self):
+        with K.dtype_scope("f32"):
+            assert K.get_default_dtype() == np.float32
+        with K.dtype_scope("double"):
+            assert K.get_default_dtype() == np.float64
+
+    def test_non_float_rejected(self):
+        with pytest.raises(ConfigError):
+            K.set_default_dtype(np.int64)
+
+
+class TestTensorCoercion:
+    def test_scalars_and_lists_adopt_policy(self):
+        with K.dtype_scope(np.float32):
+            assert Tensor([1.0, 2.0]).dtype == np.float32
+            assert Tensor(3.0).dtype == np.float32
+            assert Tensor(np.arange(4, dtype=np.int32)).dtype == np.float32
+        with K.dtype_scope(np.float64):
+            assert Tensor([1.0, 2.0]).dtype == np.float64
+
+    def test_explicit_float_arrays_keep_dtype(self):
+        with K.dtype_scope(np.float32):
+            assert Tensor(np.zeros(3, dtype=np.float64)).dtype == np.float64
+        with K.dtype_scope(np.float64):
+            assert Tensor(np.zeros(3, dtype=np.float32)).dtype == np.float32
+
+    def test_constructors_follow_policy(self):
+        with K.dtype_scope(np.float32):
+            assert zeros(2, 3).dtype == np.float32
+            assert ones(2).dtype == np.float32
+            assert full((2, 2), 5.0).dtype == np.float32
+            assert randn(4, rng=np.random.default_rng(0)).dtype == np.float32
+            assert rand(4, rng=np.random.default_rng(0)).dtype == np.float32
+            assert arange(5).dtype == np.float32
+
+    def test_constructors_accept_explicit_dtype(self):
+        with K.dtype_scope(np.float32):
+            assert zeros(2, dtype=np.float64).dtype == np.float64
+
+
+class TestAstypeOp:
+    def test_astype_roundtrip_gradient(self, rng):
+        t = Tensor(rng.standard_normal((3, 4)), requires_grad=True)
+        out = ops.astype(t, np.float32)
+        assert out.dtype == np.float32
+        out.sum().backward()
+        assert t.grad is not None and t.grad.dtype == np.float64
+
+    def test_astype_same_dtype_is_identity(self, rng):
+        t = Tensor(rng.standard_normal(3))
+        assert ops.astype(t, np.float64) is t
+
+
+class TestModuleParameters:
+    def test_params_follow_policy(self):
+        with K.dtype_scope(np.float32):
+            layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+            norm = nn.LayerNorm(4)
+            assert layer.weight.dtype == np.float32
+            assert layer.bias.dtype == np.float32
+            assert norm.weight.dtype == np.float32
+        with K.dtype_scope(np.float64):
+            assert nn.Linear(4, 3, rng=np.random.default_rng(0)).weight.dtype == np.float64
+
+    def test_float32_forward_stays_float32(self):
+        with K.dtype_scope(np.float32):
+            layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+            norm = nn.LayerNorm(3)
+            x = randn(5, 4, rng=np.random.default_rng(1))
+            out = norm(layer(x))
+            assert out.dtype == np.float32
+
+    def test_float32_backward_keeps_param_grads_float32(self):
+        with K.dtype_scope(np.float32):
+            layer = nn.Linear(4, 3, rng=np.random.default_rng(0))
+            x = randn(5, 4, rng=np.random.default_rng(1))
+            layer(x).sum().backward()
+            assert layer.weight.grad is not None
+            assert layer.weight.grad.dtype == np.float32

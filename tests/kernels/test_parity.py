@@ -1,0 +1,114 @@
+"""float32 / float64 parity of the rerouted compute stack.
+
+The dtype policy halves memory traffic in float32; these tests pin down
+that the cheap dtype stays within float64-reference tolerance for the
+kernels the paper's claims ride on (group attention above all).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+import repro.kernels as K
+from repro.autograd.tensor import Tensor
+from repro.attention import (
+    GroupAttention,
+    LinformerAttention,
+    LocalAttention,
+    PerformerAttention,
+    VanillaAttention,
+)
+
+
+def _group_attention_output(q, k, v, ids, counts, n_groups):
+    """The full group-attention math (Alg. 1) on explicit assignments."""
+    d_k = q.shape[-1]
+    counts = counts.astype(k.dtype)
+    key_sums = K.segment_sum(Tensor(k), ids, n_groups)
+    representatives = key_sums / np.maximum(counts, 1.0)[..., None]
+    scores = (Tensor(q) @ representatives.swapaxes(-1, -2)) * (1.0 / math.sqrt(d_k))
+    attn = K.fused_group_softmax(scores, counts)
+    v_agg = K.segment_sum(Tensor(v), ids, n_groups)
+    return (attn @ v_agg).data
+
+
+class TestGroupAttentionDtypeParity:
+    def test_float32_within_1e4_of_float64(self, rng):
+        batch, heads, n, d_k, n_groups = 2, 2, 32, 8, 6
+        q = rng.standard_normal((batch, heads, n, d_k))
+        k = rng.standard_normal((batch, heads, n, d_k))
+        v = rng.standard_normal((batch, heads, n, d_k))
+        ids = rng.integers(0, n_groups, size=(batch, heads, n))
+        counts = np.zeros((batch, heads, n_groups))
+        for b in range(batch):
+            for h in range(heads):
+                counts[b, h] = np.bincount(ids[b, h], minlength=n_groups)
+
+        ref64 = _group_attention_output(q, k, v, ids, counts, n_groups)
+        out32 = _group_attention_output(
+            q.astype(np.float32), k.astype(np.float32), v.astype(np.float32),
+            ids, counts, n_groups,
+        )
+        assert out32.dtype == np.float32
+        assert np.abs(out32.astype(np.float64) - ref64).max() < 1e-4
+
+    def test_mechanism_forward_dtype_follows_inputs(self, rng):
+        mech = GroupAttention(n_groups=4, rng=np.random.default_rng(0))
+        q = Tensor(rng.standard_normal((1, 2, 16, 8)).astype(np.float32))
+        out = mech(q, q, q)
+        assert out.dtype == np.float32
+
+
+class TestOtherMechanismsDtypeParity:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: VanillaAttention(),
+            lambda: LocalAttention(window=4),
+            lambda: PerformerAttention(n_features=16, rng=np.random.default_rng(3)),
+        ],
+        ids=["vanilla", "local", "performer"],
+    )
+    def test_float32_close_to_float64(self, rng, make):
+        q64 = rng.standard_normal((1, 2, 16, 8))
+        k64 = rng.standard_normal((1, 2, 16, 8))
+        v64 = rng.standard_normal((1, 2, 16, 8))
+        out64 = make()(Tensor(q64), Tensor(k64), Tensor(v64)).data
+        mech32 = make()
+        out32 = mech32(
+            Tensor(q64.astype(np.float32)),
+            Tensor(k64.astype(np.float32)),
+            Tensor(v64.astype(np.float32)),
+        ).data
+        assert out32.dtype == np.float32
+        assert np.abs(out32.astype(np.float64) - out64).max() < 1e-4
+
+    def test_linformer_float32(self, rng):
+        with K.dtype_scope(np.float32):
+            mech = LinformerAttention(max_len=16, proj_dim=4, rng=np.random.default_rng(5))
+            q = Tensor(rng.standard_normal((1, 2, 16, 8)).astype(np.float32))
+            out = mech(q, q, q)
+            assert out.dtype == np.float32
+
+
+class TestKernelDtypeParity:
+    def test_layer_norm_and_linear_float32(self, rng):
+        x = rng.standard_normal((4, 6))
+        w = rng.standard_normal(6)
+        b = rng.standard_normal(6)
+        ref = K.layer_norm(Tensor(x), Tensor(w), Tensor(b)).data
+        out = K.layer_norm(
+            Tensor(x.astype(np.float32)), Tensor(w.astype(np.float32)),
+            Tensor(b.astype(np.float32)),
+        ).data
+        assert out.dtype == np.float32
+        assert np.abs(out.astype(np.float64) - ref).max() < 1e-4
+
+        lw = rng.standard_normal((3, 6))
+        ref = K.linear(Tensor(x), Tensor(lw)).data
+        out = K.linear(Tensor(x.astype(np.float32)), Tensor(lw.astype(np.float32))).data
+        assert out.dtype == np.float32
+        assert np.abs(out.astype(np.float64) - ref).max() < 1e-4
