@@ -1,0 +1,250 @@
+"""Grouping-engine benchmark: the perf trajectory file for the K-means path.
+
+The paper's efficiency claim (Sec. 4.4, Table 4, Fig. 4) rests on the
+grouping step staying cheap — O(nN) per training step.  This benchmark
+tracks grouping **seconds per step** across the grid
+
+* ``n``        in {256, 1024, 4096}   (sequence length)
+* ``N``        in {16, 64, 256}       (number of groups)
+* strategies:  ``cold``  — fresh random-init K-means every step,
+               ``warm``  — previous centroids warm-start the next K-means,
+               ``amortized`` — ``recluster_every=4``: intermediate steps
+               reuse the cached partition behind the Lemma-1 drift guard,
+* backends:    ``reference`` (np.add.at oracle) vs ``fused``
+               (sort+reduceat segment kernels, pooled distance buffer),
+
+plus a ``legacy`` baseline — the exact pre-refactor ``batched_kmeans``
+(np.add.at / np.maximum.at scatter reductions, per-iteration distance
+allocations, Python k-means++ loop) run cold each step, which is what the
+repo shipped before the grouping engine moved onto the kernel backends.
+
+Timing comes from ``GroupAttention.grouping_seconds_total`` deltas, i.e.
+the instrumented production code path, not a reimplementation.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_grouping.py [out.json] [--smoke]
+
+Emits ``benchmarks/BENCH_grouping.json`` by default.  ``--smoke`` runs a
+tiny grid (seconds, exercised by CI) so the script cannot silently rot.
+Numbers are wall-clock on whatever machine runs this; compare ratios, not
+absolute seconds, across machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+import sys
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro.kernels as K
+from repro.attention.group import GroupAttention
+from repro.autograd.tensor import Tensor, no_grad
+from repro.rng import get_rng
+
+BATCH = 2
+HEADS = 4
+HEAD_DIM = 32
+TARGET_SPEEDUP = 2.0
+ACCEPTANCE = (1024, 64)  # the (n, N) cell the acceptance ratio is read from
+
+
+# ----------------------------------------------------------------------
+# Legacy baseline: the pre-refactor batched_kmeans, reproduced verbatim
+# (np.add.at scatter-adds, per-iteration (B, n, N) allocations, Python
+# k-means++ loop) so future machines can still measure the old cost.
+# ----------------------------------------------------------------------
+def _legacy_pairwise_sq_distances(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    point_sq = np.einsum("bnd,bnd->bn", points, points, optimize=True)[:, :, None]
+    center_sq = np.einsum("bkd,bkd->bk", centers, centers, optimize=True)[:, None, :]
+    distances = point_sq + center_sq - 2.0 * (points @ np.swapaxes(centers, -1, -2))
+    np.maximum(distances, 0.0, out=distances)
+    return distances
+
+
+def _legacy_batched_kmeans(points: np.ndarray, n_clusters: int, n_iters: int, rng) -> None:
+    batch, n, dim = points.shape
+    n_clusters = int(min(n_clusters, n))
+    choice = np.argsort(rng.random((batch, n)), axis=1)[:, :n_clusters]
+    centers = np.take_along_axis(points, choice[:, :, None], axis=1).copy()
+    batch_index = np.arange(batch)[:, None]
+    for _ in range(max(n_iters, 1)):
+        distances = _legacy_pairwise_sq_distances(points, centers)
+        assignments = distances.argmin(axis=-1)
+        sums = np.zeros((batch, n_clusters, dim), dtype=points.dtype)
+        flat_ids = (assignments + np.arange(batch)[:, None] * n_clusters).reshape(-1)
+        np.add.at(sums.reshape(batch * n_clusters, dim), flat_ids, points.reshape(-1, dim))
+        counts = np.zeros((batch, n_clusters), dtype=np.int64)
+        np.add.at(counts.reshape(-1), flat_ids, 1)
+        nonempty = counts > 0
+        centers = np.where(
+            nonempty[:, :, None], sums / np.maximum(counts, 1)[:, :, None], centers
+        )
+    distances = _legacy_pairwise_sq_distances(points, centers)
+    assignments = distances.argmin(axis=-1)
+    member_sq = distances[batch_index, np.arange(n)[None, :], assignments]
+    counts = np.zeros((batch, n_clusters), dtype=np.int64)
+    flat_ids = (assignments + np.arange(batch)[:, None] * n_clusters).reshape(-1)
+    np.add.at(counts.reshape(-1), flat_ids, 1)
+    radii_sq = np.zeros((batch, n_clusters), dtype=points.dtype)
+    np.maximum.at(radii_sq.reshape(-1), flat_ids, member_sq.reshape(-1))
+    np.sqrt(radii_sq)
+
+
+# ----------------------------------------------------------------------
+# Measurement
+# ----------------------------------------------------------------------
+def _drifting_keys(base: np.ndarray, rng, scale: float = 1e-3) -> np.ndarray:
+    """Per-step keys: the same distribution nudged slightly, mimicking the
+    slow embedding drift between training steps the paper leans on."""
+    noise = rng.standard_normal(base.shape).astype(base.dtype)
+    return base + scale * noise
+
+
+def bench_legacy(n: int, n_groups: int, steps: int, warmup: int) -> float:
+    rng = np.random.default_rng(0)
+    base = rng.standard_normal((BATCH * HEADS, n, HEAD_DIM)).astype(np.float32)
+    init_rng = get_rng(np.random.default_rng(1))
+    for _ in range(warmup):
+        _legacy_batched_kmeans(_drifting_keys(base, rng), n_groups, 2, init_rng)
+    started = time.perf_counter()
+    for _ in range(steps):
+        _legacy_batched_kmeans(_drifting_keys(base, rng), n_groups, 2, init_rng)
+    return (time.perf_counter() - started) / steps
+
+
+def bench_strategy(
+    n: int, n_groups: int, strategy: str, backend: str, steps: int, warmup: int
+) -> dict:
+    rng = np.random.default_rng(0)
+    base = rng.standard_normal((BATCH, HEADS, n, HEAD_DIM)).astype(np.float32)
+    kwargs: dict = {"n_groups": n_groups, "rng": np.random.default_rng(1)}
+    if strategy == "cold":
+        kwargs["warm_start"] = False
+    elif strategy == "amortized":
+        # A generous drift guard so the cadence (not the guard) is what the
+        # cell measures; the guard's O(nd) check still runs every step.
+        kwargs.update(recluster_every=4, drift_tolerance=1e9)
+    mechanism = GroupAttention(**kwargs)
+    with K.use_backend(backend), no_grad():
+        for _ in range(warmup):
+            keys = Tensor(_drifting_keys(base, rng))
+            mechanism(keys, keys, keys)
+        seconds_before = mechanism.grouping_seconds_total
+        reclusters_before = mechanism.reclusters_total
+        for _ in range(steps):
+            keys = Tensor(_drifting_keys(base, rng))
+            mechanism(keys, keys, keys)
+    return {
+        "seconds_per_step": (mechanism.grouping_seconds_total - seconds_before) / steps,
+        "reclusters": mechanism.reclusters_total - reclusters_before,
+        "steps": steps,
+    }
+
+
+def run_grid(lengths, group_sizes, steps: int, warmup: int) -> list[dict]:
+    grid = []
+    for n in lengths:
+        for n_groups in group_sizes:
+            if n_groups > n:
+                continue
+            cell: dict = {
+                "n": n,
+                "n_groups": n_groups,
+                "legacy_cold_seconds_per_step": bench_legacy(n, n_groups, steps, warmup),
+            }
+            for backend in ("reference", "fused"):
+                cell[backend] = {
+                    strategy: bench_strategy(n, n_groups, strategy, backend, steps, warmup)
+                    for strategy in ("cold", "warm", "amortized")
+                }
+            grid.append(cell)
+            print(
+                f"n={n:5d} N={n_groups:4d}  "
+                f"legacy={cell['legacy_cold_seconds_per_step'] * 1e3:7.2f} ms  "
+                f"fused cold={cell['fused']['cold']['seconds_per_step'] * 1e3:7.2f} "
+                f"warm={cell['fused']['warm']['seconds_per_step'] * 1e3:7.2f} "
+                f"amortized={cell['fused']['amortized']['seconds_per_step'] * 1e3:7.2f} ms/step"
+            )
+    return grid
+
+
+def acceptance_summary(grid: list[dict]) -> dict | None:
+    for cell in grid:
+        if (cell["n"], cell["n_groups"]) == ACCEPTANCE:
+            baseline = cell["legacy_cold_seconds_per_step"]
+            amortized = cell["fused"]["amortized"]["seconds_per_step"]
+            return {
+                "n": cell["n"],
+                "n_groups": cell["n_groups"],
+                "baseline_legacy_cold_seconds_per_step": baseline,
+                "fused_amortized_seconds_per_step": amortized,
+                "speedup": baseline / amortized,
+                "target_speedup": TARGET_SPEEDUP,
+                "meets_target": baseline / amortized >= TARGET_SPEEDUP,
+            }
+    return None
+
+
+def main(argv: list[str] | None = None) -> dict:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("out", nargs="?", default=None, help="output JSON path")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny grid (seconds): CI guard that the script still runs",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        lengths, group_sizes, steps, warmup = (64,), (8,), 3, 1
+    else:
+        # steps = 2 full recluster periods (recluster_every=4), so the
+        # amortized cells measure exactly 2 reclusters + 6 cache reuses.
+        lengths, group_sizes, steps, warmup = (256, 1024, 4096), (16, 64, 256), 8, 2
+
+    grid = run_grid(lengths, group_sizes, steps, warmup)
+    payload = {
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.version.version,
+            "machine": platform.machine(),
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "smoke": args.smoke,
+            "geometry": {"batch": BATCH, "heads": HEADS, "head_dim": HEAD_DIM},
+            "strategies": {
+                "legacy": "pre-refactor np.add.at kmeans, cold init every step",
+                "cold": "kernel-routed kmeans, cold init every step",
+                "warm": "kernel-routed kmeans, centroid warm start",
+                "amortized": "warm start + recluster_every=4 partition reuse",
+            },
+        },
+        "grid": grid,
+        "acceptance": acceptance_summary(grid),
+    }
+
+    default_name = "BENCH_grouping_smoke.json" if args.smoke else "BENCH_grouping.json"
+    out_file = Path(args.out) if args.out else Path(__file__).parent / default_name
+    out_file.write_text(json.dumps(payload, indent=2) + "\n")
+
+    if payload["acceptance"] is not None:
+        acc = payload["acceptance"]
+        print(
+            f"acceptance n={acc['n']} N={acc['n_groups']}: "
+            f"legacy {acc['baseline_legacy_cold_seconds_per_step'] * 1e3:.2f} ms/step -> "
+            f"fused+amortized {acc['fused_amortized_seconds_per_step'] * 1e3:.2f} ms/step "
+            f"= {acc['speedup']:.2f}x (target >= {acc['target_speedup']}x; "
+            f"met={acc['meets_target']})"
+        )
+    print(f"wrote {out_file}")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

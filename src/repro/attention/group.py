@@ -55,11 +55,22 @@ class GroupStats:
         ``N`` used in this forward pass.
     centers, radii, counts:
         Per-``(batch*head)`` clustering outcome (see ``KMeansResult``).
+        When the partition was reused these describe the *cached*
+        clustering, not a fresh one.
     key_radius:
         ``R`` of Lemma 1 — the max key-vector norm across the whole input.
     grouping_seconds:
-        Wall-clock cost of the K-means grouping (reported separately in
-        the paper's training-time measurements).
+        Wall-clock cost of the grouping step for this forward (K-means on a
+        recluster, the drift check on a cache reuse).
+    reclustered:
+        Whether this forward ran K-means (``False`` = cached partition).
+    steps_since_recluster:
+        Forward passes served by the current partition, 0 on a recluster.
+    drift:
+        Max key movement since the cached clustering (the Lemma-1 staleness
+        proxy).  On a cached step, the movement the guard accepted; on a
+        drift-triggered recluster, the movement that forced it; 0.0 when
+        there was no cache to compare against.
     """
 
     n_groups: int
@@ -68,6 +79,20 @@ class GroupStats:
     counts: np.ndarray
     key_radius: float
     grouping_seconds: float = 0.0
+    reclustered: bool = True
+    steps_since_recluster: int = 0
+    drift: float = 0.0
+
+
+@dataclass
+class _GroupCache:
+    """Cached partition reused between reclusters (amortized grouping)."""
+
+    clustering: KMeansResult
+    keys: np.ndarray  # (B*H, n, d_k) keys the partition was computed on
+    n_groups: int
+    training: bool
+    steps_since: int = 0
 
 
 class GroupAttention(AttentionMechanism):
@@ -83,6 +108,21 @@ class GroupAttention(AttentionMechanism):
         suffice; grouping cost must stay within O(nN)).
     rng:
         Generator for K-means initialization.
+    recluster_every:
+        Recluster cadence: 1 (default) runs K-means on every forward; ``c``
+        reuses the cached partition for up to ``c - 1`` intermediate steps
+        and only recomputes the differentiable per-group aggregates
+        (``segment_sum`` over the *current* keys/values — exact w.r.t.
+        autograd, only the partition is stale).  The paper's warm-start
+        argument (key embeddings drift slowly between steps) is what makes
+        a stale partition tolerable.
+    drift_tolerance:
+        Staleness guard for cache reuse: an intermediate step reclusters
+        early when any ``(batch*head)`` element's max key movement since
+        the cached clustering exceeds ``drift_tolerance`` times that
+        element's max cluster radius (Lemma-1 style — once keys move on
+        the order of the cluster radii the cached partition no longer
+        bounds the attention error).
     """
 
     kind = "group"
@@ -94,12 +134,18 @@ class GroupAttention(AttentionMechanism):
         rng: np.random.Generator | None = None,
         init: str = "random",
         warm_start: bool = True,
+        recluster_every: int = 1,
+        drift_tolerance: float = 0.5,
     ) -> None:
         super().__init__()
         if n_groups < 1:
             raise ConfigError("n_groups must be >= 1")
         if init not in {"random", "++"}:
             raise ConfigError(f"unknown kmeans init {init!r}")
+        if recluster_every < 1:
+            raise ConfigError("recluster_every must be >= 1")
+        if drift_tolerance < 0.0:
+            raise ConfigError("drift_tolerance must be >= 0")
         self.n_groups = int(n_groups)
         self.kmeans_iters = int(kmeans_iters)
         self.init = init
@@ -108,9 +154,17 @@ class GroupAttention(AttentionMechanism):
         #: couple of Lloyd iterations reach a good grouping — the reason
         #: the paper can cap grouping cost at O(nN) per step.
         self.warm_start = bool(warm_start)
+        self.recluster_every = int(recluster_every)
+        self.drift_tolerance = float(drift_tolerance)
         self._rng = get_rng(rng)
         self._prev_centers: np.ndarray | None = None
+        self._cache: _GroupCache | None = None
         self.last_stats: GroupStats | None = None
+        #: Cumulative counters (never reset) — the trainer reads per-epoch
+        #: deltas so a layer that skips grouping is never double-counted.
+        self.grouping_seconds_total = 0.0
+        self.reclusters_total = 0
+        self.grouping_steps_total = 0
 
     def _warm_start_centers(
         self, flat_batch: int, n_groups: int, d_k: int
@@ -142,19 +196,78 @@ class GroupAttention(AttentionMechanism):
         pad += self._rng.normal(0.0, scale, size=pad.shape).astype(pad.dtype, copy=False)
         return np.concatenate([prev, pad], axis=1)
 
+    def invalidate_group_cache(self) -> None:
+        """Drop the cached partition; the next forward reclusters.
+
+        Called by the adaptive scheduler when it changes ``n_groups`` (warm
+        -start *centers* survive — they are resized, not discarded).
+        """
+        self._cache = None
+
+    def _try_reuse_cache(
+        self, keys_flat: np.ndarray, n_groups: int
+    ) -> tuple[_GroupCache | None, float]:
+        """The cached partition if still valid for these keys, plus drift.
+
+        Validity: same ``(B*H, n, d_k)`` geometry and dtype, same ``N``
+        (adaptive-scheduler changes invalidate), same train/eval mode,
+        cadence budget left, and key drift within the Lemma-1 guard.  The
+        guard is per ``(batch*head)`` element — each element's max key
+        movement must stay within ``drift_tolerance`` times *its own* max
+        cluster radius, so one loose head cannot license stale partitions
+        for the tight ones.
+        """
+        cache = self._cache
+        if cache is None or self.recluster_every <= 1:
+            return None, 0.0
+        if (
+            cache.keys.shape != keys_flat.shape
+            or cache.keys.dtype != keys_flat.dtype
+            or cache.n_groups != n_groups
+            or cache.training != self.training
+            or cache.steps_since + 1 >= self.recluster_every
+        ):
+            return None, 0.0
+        movement = keys_flat - cache.keys
+        per_elem = np.sqrt(np.einsum("bnd,bnd->bn", movement, movement).max(axis=1))
+        drift = float(per_elem.max())
+        allowed = self.drift_tolerance * cache.clustering.radii.max(axis=1)
+        if (per_elem > allowed).any():
+            return None, drift
+        return cache, drift
+
     def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
         batch, heads, n, d_k = k.shape
         n_groups = min(self.n_groups, n)
 
         t0 = time.perf_counter()
         keys_flat = k.data.reshape(batch * heads, n, d_k)
-        init_centers = self._warm_start_centers(batch * heads, n_groups, d_k)
-        clustering = batched_kmeans(
-            keys_flat, n_groups, n_iters=self.kmeans_iters, rng=self._rng,
-            init=self.init, init_centers=init_centers,
-        )
-        if self.warm_start:
-            self._prev_centers = clustering.centers
+        cache, drift = self._try_reuse_cache(keys_flat, n_groups)
+        if cache is not None:
+            cache.steps_since += 1
+            steps_since = cache.steps_since
+            clustering = cache.clustering
+            reclustered = False
+        else:
+            init_centers = self._warm_start_centers(batch * heads, n_groups, d_k)
+            clustering = batched_kmeans(
+                keys_flat, n_groups, n_iters=self.kmeans_iters, rng=self._rng,
+                init=self.init, init_centers=init_centers,
+            )
+            if self.warm_start:
+                self._prev_centers = clustering.centers
+            if self.recluster_every > 1:
+                self._cache = _GroupCache(
+                    clustering=clustering,
+                    keys=keys_flat,
+                    n_groups=clustering.n_clusters,
+                    training=self.training,
+                )
+            else:
+                # Never reusable — don't pin the key tensor in memory.
+                self._cache = None
+            steps_since = 0
+            reclustered = True
         grouping_seconds = time.perf_counter() - t0
         n_groups = clustering.n_clusters
 
@@ -184,7 +297,14 @@ class GroupAttention(AttentionMechanism):
             counts=clustering.counts,
             key_radius=float(np.linalg.norm(keys_flat, axis=-1).max()),
             grouping_seconds=grouping_seconds,
+            reclustered=reclustered,
+            steps_since_recluster=steps_since,
+            drift=drift,
         )
+        self.grouping_seconds_total += grouping_seconds
+        self.grouping_steps_total += 1
+        if reclustered:
+            self.reclusters_total += 1
         return out
 
     def memory_kwargs(self) -> dict:

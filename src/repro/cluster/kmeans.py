@@ -11,6 +11,14 @@ attention head.  Requirements from the paper:
 All routines are *batched*: ``points`` has shape ``(B, n, d)`` and every
 batch element is clustered independently but in one vectorized pass, which
 is how the real system amortizes the grouping over ``batch x heads``.
+
+The Lloyd inner loop runs on the active :mod:`repro.kernels` backend —
+``kmeans_assign`` (fused distance+argmin with a reused ``(B, n, N)``
+scratch buffer), ``segment_mean`` (sort+``reduceat`` center update),
+``segment_count`` and ``segment_max`` — so the grouping step shares the
+registry, the scratch pools, and the reference/fused parity contract with
+the rest of the compute stack.  ``with use_backend("reference")`` oracles
+the fused path.
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ShapeError
+from repro.kernels.backend import get_backend
 from repro.rng import get_rng
 
 __all__ = ["KMeansResult", "batched_kmeans", "pairwise_sq_distances", "kmeans_pp_init"]
@@ -84,21 +93,32 @@ def kmeans_pp_init(
     """
     generator = get_rng(rng)
     batch, n, dim = points.shape
+    rows = np.arange(batch)
+    # |v|^2 computed once; each round's distance update is then a single
+    # batched matvec (|v|^2 + |c|^2 - 2 v . c) instead of materializing a
+    # (B, n, d) difference tensor per new center.
+    points_sq = np.einsum("bnd,bnd->bn", points, points, optimize=True)
     centers = np.empty((batch, n_clusters, dim), dtype=points.dtype)
     first = generator.integers(0, n, size=batch)
-    centers[:, 0] = points[np.arange(batch), first]
+    centers[:, 0] = points[rows, first]
     closest = None
     for k in range(1, n_clusters):
-        newest = centers[:, k - 1][:, None, :]
-        dist_new = ((points - newest) ** 2).sum(axis=-1)
-        closest = dist_new if closest is None else np.minimum(closest, dist_new)
+        newest = centers[:, k - 1]
+        cross = np.einsum("bnd,bd->bn", points, newest, optimize=True)
+        newest_sq = np.einsum("bd,bd->b", newest, newest, optimize=True)
+        dist_new = points_sq + newest_sq[:, None] - 2.0 * cross
+        np.maximum(dist_new, 0.0, out=dist_new)
+        if closest is None:
+            closest = dist_new
+        else:
+            np.minimum(closest, dist_new, out=closest)
         total = closest.sum(axis=1, keepdims=True)
         # Guard: all points identical -> sample uniformly.
         probs = np.where(total > 0, closest / np.maximum(total, 1e-30), 1.0 / n)
         cumulative = np.cumsum(probs, axis=1)
         draws = generator.random((batch, 1))
         chosen = (cumulative < draws).sum(axis=1).clip(0, n - 1)
-        centers[:, k] = points[np.arange(batch), chosen]
+        centers[:, k] = points[rows, chosen]
     return centers
 
 
@@ -132,6 +152,11 @@ def batched_kmeans(
     Empty clusters keep their previous centers; their radius is 0 and count
     is 0, so they never violate merge conditions and simply waste capacity
     until the adaptive scheduler shrinks ``N``.
+
+    The inner loop runs entirely on the active kernel backend:
+    ``kmeans_assign`` for the fused distance+argmin and ``segment_mean`` /
+    ``segment_count`` / ``segment_max`` for the scatter reductions that
+    used to be ``np.add.at`` / ``np.maximum.at`` scalar loops.
     """
     if points.ndim != 3:
         raise ShapeError(f"batched_kmeans expects (B, n, d) points, got {points.shape}")
@@ -140,6 +165,7 @@ def batched_kmeans(
     n_clusters = int(min(n_clusters, n))
     if n_clusters < 1:
         raise ShapeError("n_clusters must be >= 1")
+    backend = get_backend()
 
     if init_centers is not None:
         if init_centers.shape != (batch, n_clusters, dim):
@@ -154,34 +180,17 @@ def batched_kmeans(
         choice = np.argsort(generator.random((batch, n)), axis=1)[:, :n_clusters]
         centers = np.take_along_axis(points, choice[:, :, None], axis=1).copy()
 
-    assignments = np.zeros((batch, n), dtype=np.int64)
-    batch_index = np.arange(batch)[:, None]
+    # |v|^2 is constant across Lloyd iterations — compute it once and let
+    # the backend skip it inside the argmin entirely.
+    points_sq = np.einsum("bnd,bnd->bn", points, points, optimize=True)
     for _ in range(max(n_iters, 1)):
-        distances = pairwise_sq_distances(points, centers)
-        assignments = distances.argmin(axis=-1)
-        # Recompute centers with a batched scatter-add.
-        sums = np.zeros((batch, n_clusters, dim), dtype=points.dtype)
-        flat_ids = (assignments + np.arange(batch)[:, None] * n_clusters).reshape(-1)
-        np.add.at(
-            sums.reshape(batch * n_clusters, dim), flat_ids, points.reshape(-1, dim)
-        )
-        counts = np.zeros((batch, n_clusters), dtype=np.int64)
-        np.add.at(counts.reshape(-1), flat_ids, 1)
-        nonempty = counts > 0
-        centers = np.where(
-            nonempty[:, :, None], sums / np.maximum(counts, 1)[:, :, None], centers
-        )
+        assignments, _ = backend.kmeans_assign(points, centers, points_sq)
+        means, counts = backend.segment_mean(points, assignments, n_clusters)
+        centers = np.where((counts > 0)[:, :, None], means, centers)
 
-    distances = pairwise_sq_distances(points, centers)
-    assignments = distances.argmin(axis=-1)
-    member_sq = distances[batch_index, np.arange(n)[None, :], assignments]
-
-    counts = np.zeros((batch, n_clusters), dtype=np.int64)
-    flat_ids = (assignments + np.arange(batch)[:, None] * n_clusters).reshape(-1)
-    np.add.at(counts.reshape(-1), flat_ids, 1)
-
-    radii_sq = np.zeros((batch, n_clusters), dtype=points.dtype)
-    np.maximum.at(radii_sq.reshape(-1), flat_ids, member_sq.reshape(-1))
+    assignments, member_sq = backend.kmeans_assign(points, centers, points_sq)
+    counts = backend.segment_count(assignments, n_clusters)
+    radii_sq = backend.segment_max(member_sq, assignments, n_clusters, initial=0.0)
 
     inertia = member_sq.sum(axis=1)
     return KMeansResult(

@@ -35,9 +35,15 @@ class DataLoader:
         self.shuffle = shuffle
         self.drop_last = drop_last
         self._rng = get_rng(rng)
+        self._order: np.ndarray | None = None  # cached identity order
 
     def set_batch_size(self, batch_size: int) -> None:
-        """Adjust the batch size for subsequent epochs."""
+        """Adjust the batch size for subsequent epochs.
+
+        Takes effect at the *next* ``__iter__``: an epoch already in flight
+        keeps the batch size it started with, so a mid-epoch change never
+        skips or repeats samples.
+        """
         if batch_size < 1:
             raise ConfigError("batch_size must be >= 1")
         self.batch_size = int(batch_size)
@@ -48,12 +54,22 @@ class DataLoader:
             n_batches += 1
         return n_batches
 
-    def __iter__(self) -> Iterator[dict[str, np.ndarray]]:
-        order = np.arange(len(self.dataset))
+    def _epoch_order(self) -> np.ndarray:
+        n = len(self.dataset)
         if self.shuffle:
+            order = np.arange(n)
             self._rng.shuffle(order)
-        for start in range(0, len(order), self.batch_size):
-            chunk = order[start : start + self.batch_size]
-            if self.drop_last and len(chunk) < self.batch_size:
+            return order
+        # Unshuffled epochs all share one preallocated identity order.
+        if self._order is None or len(self._order) != n:
+            self._order = np.arange(n)
+        return self._order
+
+    def __iter__(self) -> Iterator[dict[str, np.ndarray]]:
+        batch_size = self.batch_size  # snapshot; see set_batch_size
+        order = self._epoch_order()
+        for start in range(0, len(order), batch_size):
+            chunk = order[start : start + batch_size]
+            if self.drop_last and len(chunk) < batch_size:
                 return
             yield self.dataset[chunk]

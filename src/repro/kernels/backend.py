@@ -9,6 +9,10 @@ set of numerical kernels the whole compute stack is built from:
 * ``segment_sum`` / ``segment_gather`` — the embedding-aggregation
   scatter/gather pair of Algorithm 1 (they are adjoint, so each one's
   backward is the other's forward);
+* ``segment_mean`` / ``segment_count`` / ``segment_max`` /
+  ``kmeans_assign`` — the non-differentiable grouping primitives the
+  batched K-means of Sec. 4.4 is built from (Lloyd center updates,
+  cluster sizes, Lemma-2 radii, nearest-center assignment);
 * ``linear`` — affine map over the last dimension;
 * ``layer_norm`` — normalization over the last dimension.
 
@@ -104,6 +108,52 @@ class KernelBackend:
 
     def segment_gather(self, values: np.ndarray, segment_ids: np.ndarray) -> np.ndarray:
         """Gather ``(..., N, d)`` rows back to ``(..., n, d)`` elements."""
+        raise NotImplementedError
+
+    # -- k-means grouping primitives (non-differentiable) -----------------
+    def segment_count(self, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+        """Member count per segment: ``(..., n)`` int ids -> ``(..., N)`` int64."""
+        raise NotImplementedError
+
+    def segment_mean(
+        self, values: np.ndarray, segment_ids: np.ndarray, num_segments: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-segment mean of ``(..., n, d)`` rows.
+
+        Returns ``((..., N, d) means, (..., N) int64 counts)``; empty
+        segments get a zero mean (callers keep their previous centers).
+        """
+        raise NotImplementedError
+
+    def segment_max(
+        self,
+        values: np.ndarray,
+        segment_ids: np.ndarray,
+        num_segments: int,
+        initial: float = 0.0,
+    ) -> np.ndarray:
+        """Per-segment max of scalar ``(..., n)`` values -> ``(..., N)``.
+
+        Every segment starts at ``initial`` (so empty segments return it and
+        non-empty ones return ``max(initial, members)``) — the Lemma-2 radii
+        convention of :class:`~repro.cluster.kmeans.KMeansResult`.
+        """
+        raise NotImplementedError
+
+    def kmeans_assign(
+        self,
+        points: np.ndarray,
+        centers: np.ndarray,
+        points_sq: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Nearest-center assignment in the paper's matrix-product form.
+
+        ``points``: ``(B, n, d)``; ``centers``: ``(B, N, d)``.  Returns
+        ``((B, n) int64 assignments, (B, n) squared member distances >= 0)``.
+        The argmin runs over ``|c|^2 - 2 v . c`` — the ``|v|^2`` term is
+        constant per point, so it only enters the returned distances
+        (``points_sq`` lets callers reuse it across Lloyd iterations).
+        """
         raise NotImplementedError
 
     # -- affine ----------------------------------------------------------
@@ -206,6 +256,62 @@ class NumpyReferenceBackend(KernelBackend):
         offsets = np.arange(batch, dtype=np.int64)[:, None] * num_segments
         flat_index = (ids + offsets).reshape(-1)
         return flat.reshape(-1, d)[flat_index].reshape(*batch_shape, n, d)
+
+    # -- k-means grouping primitives --------------------------------------
+    def segment_count(self, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+        batch_shape = segment_ids.shape[:-1]
+        batch = int(np.prod(batch_shape)) if batch_shape else 1
+        n = segment_ids.shape[-1]
+        ids = segment_ids.reshape(batch, n)
+        offsets = np.arange(batch, dtype=np.int64)[:, None] * num_segments
+        counts = np.zeros(batch * num_segments, dtype=np.int64)
+        np.add.at(counts, (ids + offsets).reshape(-1), 1)
+        return counts.reshape(*batch_shape, num_segments)
+
+    def segment_mean(
+        self, values: np.ndarray, segment_ids: np.ndarray, num_segments: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        sums = self.segment_sum(values, segment_ids, num_segments)
+        counts = self.segment_count(segment_ids, num_segments)
+        safe = np.maximum(counts, 1).astype(values.dtype)
+        return sums / safe[..., None], counts
+
+    def segment_max(
+        self,
+        values: np.ndarray,
+        segment_ids: np.ndarray,
+        num_segments: int,
+        initial: float = 0.0,
+    ) -> np.ndarray:
+        batch_shape = segment_ids.shape[:-1]
+        batch = int(np.prod(batch_shape)) if batch_shape else 1
+        n = segment_ids.shape[-1]
+        ids = segment_ids.reshape(batch, n)
+        offsets = np.arange(batch, dtype=np.int64)[:, None] * num_segments
+        out = np.full(batch * num_segments, initial, dtype=values.dtype)
+        np.maximum.at(out, (ids + offsets).reshape(-1), values.reshape(-1))
+        return out.reshape(*batch_shape, num_segments)
+
+    def kmeans_assign(
+        self,
+        points: np.ndarray,
+        centers: np.ndarray,
+        points_sq: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        center_sq = np.einsum("bkd,bkd->bk", centers, centers, optimize=True)
+        cross = points @ np.swapaxes(centers, -1, -2)
+        # |v - c|^2 minus the per-point constant |v|^2: same argmin, one
+        # fewer (B, n, N) broadcast.
+        partial = center_sq[:, None, :] - 2.0 * cross
+        assignments = partial.argmin(axis=-1)
+        if points_sq is None:
+            points_sq = np.einsum("bnd,bnd->bn", points, points, optimize=True)
+        member_sq = (
+            np.take_along_axis(partial, assignments[..., None], axis=-1)[..., 0]
+            + points_sq
+        )
+        np.maximum(member_sq, 0.0, out=member_sq)
+        return assignments, member_sq
 
     # -- affine ----------------------------------------------------------
     def linear(

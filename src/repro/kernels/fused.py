@@ -135,6 +135,98 @@ class FusedNumpyBackend(NumpyReferenceBackend):
         out = np.take(flat.reshape(-1, d), flat_index, axis=0)
         return out.reshape(*batch_shape, n, d)
 
+    # -- k-means grouping primitives --------------------------------------
+    def segment_count(self, segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+        batch_shape = segment_ids.shape[:-1]
+        batch = int(np.prod(batch_shape)) if batch_shape else 1
+        n = segment_ids.shape[-1]
+        ids = segment_ids.reshape(batch, n)
+        flat_index = (ids + self._offsets(batch, num_segments)).reshape(-1)
+        counts = np.bincount(flat_index, minlength=batch * num_segments)
+        return counts.astype(np.int64, copy=False).reshape(*batch_shape, num_segments)
+
+    def segment_mean(
+        self, values: np.ndarray, segment_ids: np.ndarray, num_segments: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        # One stable sort serves both the reduceat sums and (via bincount on
+        # the unsorted ids) the counts — no np.add.at anywhere.
+        flat, batch_shape, batch = _flatten_batch(values)
+        n, d = flat.shape[-2:]
+        ids = segment_ids.reshape(batch, n)
+        flat_index = (ids + self._offsets(batch, num_segments)).reshape(-1)
+        order = np.argsort(flat_index, kind="stable")
+        sorted_ids = flat_index[order]
+        staged = self._scratch("segment_mean", (batch * n, d), values.dtype)
+        np.take(flat.reshape(-1, d), order, axis=0, out=staged)
+        run_starts = np.flatnonzero(
+            np.concatenate(([True], sorted_ids[1:] != sorted_ids[:-1]))
+        )
+        sums = np.add.reduceat(staged, run_starts, axis=0)
+        out = np.zeros((batch * num_segments, d), dtype=values.dtype)
+        out[sorted_ids[run_starts]] = sums
+        counts = np.bincount(flat_index, minlength=batch * num_segments).astype(
+            np.int64, copy=False
+        )
+        safe = np.maximum(counts, 1).astype(values.dtype)
+        out /= safe[:, None]
+        return (
+            out.reshape(*batch_shape, num_segments, d),
+            counts.reshape(*batch_shape, num_segments),
+        )
+
+    def segment_max(
+        self,
+        values: np.ndarray,
+        segment_ids: np.ndarray,
+        num_segments: int,
+        initial: float = 0.0,
+    ) -> np.ndarray:
+        batch_shape = segment_ids.shape[:-1]
+        batch = int(np.prod(batch_shape)) if batch_shape else 1
+        n = segment_ids.shape[-1]
+        ids = segment_ids.reshape(batch, n)
+        flat_index = (ids + self._offsets(batch, num_segments)).reshape(-1)
+        order = np.argsort(flat_index, kind="stable")
+        sorted_ids = flat_index[order]
+        staged = self._scratch("segment_max", (batch * n,), values.dtype)
+        np.take(values.reshape(-1), order, out=staged)
+        run_starts = np.flatnonzero(
+            np.concatenate(([True], sorted_ids[1:] != sorted_ids[:-1]))
+        )
+        maxes = np.maximum.reduceat(staged, run_starts)
+        out = np.full(batch * num_segments, initial, dtype=values.dtype)
+        out[sorted_ids[run_starts]] = np.maximum(maxes, initial)
+        return out.reshape(*batch_shape, num_segments)
+
+    def kmeans_assign(
+        self,
+        points: np.ndarray,
+        centers: np.ndarray,
+        points_sq: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        # One pooled (B, n, N) buffer absorbs the matmul and the in-place
+        # scale/shift, so Lloyd iterations allocate no per-step distance
+        # matrix.  |v|^2 is skipped entirely for the argmin (constant per
+        # point) and only added back for the returned member distances.
+        batch, n, _ = points.shape
+        num_centers = centers.shape[1]
+        buffer = self._scratch(
+            "kmeans_assign", (batch, n, num_centers), points.dtype
+        )
+        np.matmul(points, np.swapaxes(centers, -1, -2), out=buffer)
+        buffer *= -2.0
+        center_sq = np.einsum("bkd,bkd->bk", centers, centers, optimize=True)
+        buffer += center_sq[:, None, :]
+        assignments = buffer.argmin(axis=-1)
+        if points_sq is None:
+            points_sq = np.einsum("bnd,bnd->bn", points, points, optimize=True)
+        member_sq = (
+            np.take_along_axis(buffer, assignments[..., None], axis=-1)[..., 0]
+            + points_sq
+        )
+        np.maximum(member_sq, 0.0, out=member_sq)
+        return assignments, member_sq
+
     # -- affine -------------------------------------------------------------
     def linear(
         self, x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None

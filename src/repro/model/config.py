@@ -40,6 +40,11 @@ class RitaConfig:
         One of ``vanilla | group | performer | linformer | local``.
     n_groups:
         Initial group count ``N`` for group attention.
+    recluster_every, drift_tolerance:
+        Amortized-reclustering knobs forwarded to
+        :class:`~repro.attention.group.GroupAttention`: recluster cadence
+        (1 = K-means every step) and the Lemma-1 drift guard for cached
+        partitions.
     performer_features, linformer_proj_dim, local_window:
         Baseline-mechanism hyper-parameters.
     dropout:
@@ -62,6 +67,8 @@ class RitaConfig:
     attention: str = "group"
     n_groups: int = 64
     kmeans_iters: int = 2
+    recluster_every: int = 1
+    drift_tolerance: float = 0.5
     performer_features: int = 64
     linformer_proj_dim: int = 64
     local_window: int = 16

@@ -36,7 +36,9 @@ def build_attention(config: RitaConfig, rng: np.random.Generator | None = None) 
         return VanillaAttention()
     if config.attention == "group":
         return GroupAttention(
-            n_groups=config.n_groups, kmeans_iters=config.kmeans_iters, rng=rng
+            n_groups=config.n_groups, kmeans_iters=config.kmeans_iters, rng=rng,
+            recluster_every=config.recluster_every,
+            drift_tolerance=config.drift_tolerance,
         )
     if config.attention == "performer":
         return PerformerAttention(n_features=config.performer_features, rng=rng)

@@ -141,6 +141,10 @@ class AdaptiveScheduler:
             updated = alpha * (current - decrease) + (1.0 - alpha) * current
             new_n = max(self.config.min_groups, int(round(updated)))
             new_n = min(new_n, current)  # N never increases
+            if new_n != current:
+                # A different N makes any cached partition meaningless;
+                # warm-start centers survive (they get resized, not reset).
+                layer.invalidate_group_cache()
             layer.n_groups = new_n
             self.history[index].append(new_n)
 

@@ -23,6 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.autograd.tensor import Tensor, no_grad
 from repro.data.dataloader import DataLoader
 from repro.data.dataset import ArrayDataset
 from repro.errors import ConfigError
@@ -45,6 +46,9 @@ class EpochStats:
     batch_size: int
     mean_groups: float
     val_metrics: dict[str, float] = field(default_factory=dict)
+    #: K-means runs across all group-attention layers this epoch; with an
+    #: amortized recluster cadence this is below ``batches * layers``.
+    reclusters: int = 0
 
 
 @dataclass
@@ -78,13 +82,20 @@ class History:
         return max(values) if mode == "max" else min(values)
 
 
-def _sum_grouping_seconds(model) -> float:
-    """Total grouping time recorded by group-attention layers since reset."""
-    total = 0.0
+def _grouping_totals(model) -> tuple[float, int]:
+    """Cumulative ``(grouping_seconds, reclusters)`` across grouping layers.
+
+    Layers keep monotone counters, so the trainer charges per-epoch
+    *deltas* — a layer that skips grouping on some step (or doesn't run at
+    all) contributes nothing, instead of re-counting its stale
+    ``last_stats`` every batch as the old per-step re-summation did.
+    """
+    seconds = 0.0
+    reclusters = 0
     for layer in getattr(model, "group_attention_layers", lambda: [])():
-        if layer.last_stats is not None:
-            total += layer.last_stats.grouping_seconds
-    return total
+        seconds += layer.grouping_seconds_total
+        reclusters += layer.reclusters_total
+    return seconds, reclusters
 
 
 def evaluate_task(model, task, dataset: ArrayDataset, batch_size: int = 64) -> dict[str, float]:
@@ -94,8 +105,6 @@ def evaluate_task(model, task, dataset: ArrayDataset, batch_size: int = 64) -> d
     no autograd graph, no backward caches — regardless of whether the
     task's ``evaluate`` disables gradients itself.
     """
-    from repro.autograd.tensor import no_grad
-
     was_training = model.training
     model.eval()
     totals: dict[str, float] = {}
@@ -160,12 +169,12 @@ class Trainer:
         requested = self.model.estimate_step_bytes(batch_size, accounted)
         device.check(requested, note=f"{self.model.config.attention} attention, L={accounted}")
 
-    def train_epoch(self, loader: DataLoader) -> tuple[float, float, float]:
-        """One epoch; returns ``(mean_loss, seconds, grouping_seconds)``."""
+    def train_epoch(self, loader: DataLoader) -> tuple[float, float, float, int]:
+        """One epoch; returns ``(mean_loss, seconds, grouping_seconds, reclusters)``."""
         self.model.train()
         total_loss = 0.0
         n_batches = 0
-        grouping = 0.0
+        seconds_before, reclusters_before = _grouping_totals(self.model)
         started = time.perf_counter()
         for batch in loader:
             self._check_memory(len(batch["x"]), batch["x"].shape[1])
@@ -177,11 +186,16 @@ class Trainer:
             self.optimizer.step()
             if self.adaptive_scheduler is not None:
                 self.adaptive_scheduler.step()
-            grouping += _sum_grouping_seconds(self.model)
             total_loss += float(loss.data)
             n_batches += 1
         seconds = time.perf_counter() - started
-        return total_loss / max(n_batches, 1), seconds, grouping
+        seconds_after, reclusters_after = _grouping_totals(self.model)
+        return (
+            total_loss / max(n_batches, 1),
+            seconds,
+            seconds_after - seconds_before,
+            reclusters_after - reclusters_before,
+        )
 
     def fit(
         self,
@@ -202,7 +216,7 @@ class Trainer:
         loader = DataLoader(train_dataset, batch_size=batch_size, shuffle=shuffle, rng=rng)
         history = History()
         for epoch in range(1, epochs + 1):
-            mean_loss, seconds, grouping = self.train_epoch(loader)
+            mean_loss, seconds, grouping, reclusters = self.train_epoch(loader)
             stats = EpochStats(
                 epoch=epoch,
                 train_loss=mean_loss,
@@ -210,6 +224,7 @@ class Trainer:
                 grouping_seconds=grouping,
                 batch_size=loader.batch_size,
                 mean_groups=self.model.mean_groups(),
+                reclusters=reclusters,
             )
             if val_dataset is not None:
                 stats.val_metrics = evaluate_task(self.model, self.task, val_dataset)
@@ -242,9 +257,6 @@ class Trainer:
 
     def measure_inference(self, dataset: ArrayDataset, batch_size: int = 64) -> float:
         """Wall-clock seconds for one full forward pass over ``dataset``."""
-        from repro.autograd.tensor import no_grad
-        from repro.autograd.tensor import Tensor
-
         was_training = self.model.training
         self.model.eval()
         loader = DataLoader(dataset, batch_size=batch_size)

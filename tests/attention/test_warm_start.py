@@ -89,6 +89,34 @@ class TestWarmStartAcrossGroupChanges:
         mech(*qkv)
         assert mech._prev_centers is None
 
+    def test_dtype_change_still_warm_starts(self, rng, qkv, monkeypatch):
+        """float64 cache + float32 keys: centers are recast, not discarded."""
+        captured, spy = _captured_init_centers(monkeypatch)
+        monkeypatch.setattr(group_module, "batched_kmeans", spy)
+        mech = GroupAttention(n_groups=6, rng=np.random.default_rng(0))
+        q, k, v = qkv
+        mech(q, k, v)
+        cached = mech._prev_centers
+        assert cached.dtype == np.float64
+        low = Tensor(k.data.astype(np.float32))
+        out = mech(low, low, low)
+        assert captured[1] is cached  # cache handed through; kmeans recasts
+        assert out.dtype == np.float32
+        assert mech._prev_centers.dtype == np.float32
+        assert np.isfinite(out.data).all()
+
+    def test_shrink_then_grow_roundtrip_keeps_cache_alive(self, rng, qkv, monkeypatch):
+        captured, spy = _captured_init_centers(monkeypatch)
+        monkeypatch.setattr(group_module, "batched_kmeans", spy)
+        mech = GroupAttention(n_groups=8, rng=np.random.default_rng(0))
+        mech(*qkv)
+        mech.n_groups = 3
+        mech(*qkv)
+        mech.n_groups = 8
+        mech(*qkv)
+        assert captured[1] is not None and captured[1].shape == (4, 3, 4)
+        assert captured[2] is not None and captured[2].shape == (4, 8, 4)
+
 
 class TestForwardStillCorrect:
     def test_output_finite_after_group_change(self, rng, qkv):

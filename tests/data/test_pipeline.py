@@ -98,6 +98,47 @@ class TestDataLoader:
         with pytest.raises(ConfigError):
             loader.set_batch_size(-1)
 
+    def test_grow_batch_mid_epoch_does_not_corrupt_epochs(self):
+        """A mid-epoch batch-size change takes effect next epoch only.
+
+        The batch predictor mutates ``batch_size`` while training; the
+        in-flight epoch must keep its snapshot so no sample is skipped or
+        repeated, and the next epoch must use the new size.
+        """
+        ds = ArrayDataset(x=np.arange(10)[:, None])
+        loader = DataLoader(ds, batch_size=2, drop_last=True)
+        first_epoch = []
+        for i, batch in enumerate(loader):
+            first_epoch.append(batch["x"][:, 0])
+            if i == 0:
+                loader.set_batch_size(3)  # what the trainer does mid-fit
+        assert all(len(chunk) == 2 for chunk in first_epoch)
+        np.testing.assert_array_equal(np.concatenate(first_epoch), np.arange(10))
+
+        second_epoch = [b["x"][:, 0] for b in loader]
+        # New size applies cleanly: 3+3+3, tail of 1 dropped — the first
+        # nine samples all appear exactly once (nothing skipped).
+        assert [len(c) for c in second_epoch] == [3, 3, 3]
+        np.testing.assert_array_equal(np.concatenate(second_epoch), np.arange(9))
+
+    def test_unshuffled_epoch_order_is_cached(self):
+        ds = ArrayDataset(x=np.arange(12)[:, None])
+        loader = DataLoader(ds, batch_size=4)
+        first = [b["x"][:, 0] for b in loader]
+        assert loader._order is not None
+        cached = loader._order
+        second = [b["x"][:, 0] for b in loader]
+        assert loader._order is cached  # no np.arange re-run per epoch
+        np.testing.assert_array_equal(np.concatenate(first), np.concatenate(second))
+
+    def test_shuffle_does_not_reuse_identity_cache(self, rng):
+        ds = ArrayDataset(x=np.arange(30)[:, None])
+        loader = DataLoader(ds, batch_size=30, shuffle=True, rng=rng)
+        seen_a = next(iter(loader))["x"][:, 0]
+        seen_b = next(iter(loader))["x"][:, 0]
+        assert not np.array_equal(seen_a, seen_b)
+        np.testing.assert_array_equal(np.sort(seen_b), np.arange(30))
+
 
 class TestScaler:
     def test_transform_to_unit_interval(self, rng):

@@ -82,6 +82,43 @@ class TestTrainerFit:
         history = trainer.fit(train, epochs=1, batch_size=8, rng=rng)
         assert history.final.grouping_seconds > 0
 
+    def test_grouping_accounting_charges_deltas_not_stale_stats(self, setup, rng):
+        """Per-epoch grouping time equals the layers' cumulative deltas.
+
+        The old accounting re-summed every layer's ``last_stats`` each
+        batch, so a layer that skipped grouping re-counted its previous
+        value; the delta form makes the epoch totals sum exactly to the
+        cumulative counters on the layers.
+        """
+        model, train, _ = setup
+        trainer = Trainer(model, ClassificationTask(), repro.AdamW(model.parameters(), lr=1e-3))
+        history = trainer.fit(train, epochs=3, batch_size=8, rng=rng)
+        layer_total = sum(
+            layer.grouping_seconds_total for layer in model.group_attention_layers()
+        )
+        assert history.total_grouping_seconds() == pytest.approx(layer_total, rel=1e-9)
+
+    def test_reclusters_per_epoch_recorded(self, setup, rng):
+        model, train, _ = setup
+        trainer = Trainer(model, ClassificationTask(), repro.AdamW(model.parameters(), lr=1e-3))
+        history = trainer.fit(train, epochs=2, batch_size=8, rng=rng)
+        # Default cadence reclusters on every step of every grouping layer.
+        batches_per_epoch = 2  # 16 samples / batch 8
+        layers = len(model.group_attention_layers())
+        assert history.final.reclusters == batches_per_epoch * layers
+
+    def test_amortized_cadence_reclusters_less(self, setup, rng):
+        model, train, _ = setup
+        for layer in model.group_attention_layers():
+            layer.recluster_every = 100
+            layer.drift_tolerance = 1e9
+        trainer = Trainer(model, ClassificationTask(), repro.AdamW(model.parameters(), lr=1e-3))
+        history = trainer.fit(train, epochs=2, batch_size=16, rng=rng, shuffle=False)
+        # Full-batch training with a generous drift guard: only the first
+        # step of each layer reclusters; later epochs serve the cache.
+        assert history.epochs[0].reclusters == len(model.group_attention_layers())
+        assert history.epochs[1].reclusters == 0
+
     def test_clip_norm_applied(self, setup, rng):
         model, train, _ = setup
         trainer = Trainer(
