@@ -1,0 +1,82 @@
+"""Variable-length series: ragged batches, padding masks, bucketed batching.
+
+Real recordings differ in length; this example builds a ragged dataset of
+sine/noise bursts between 40 and 160 timesteps, trains RITA with group
+attention on padded batches, and shows that
+
+1. `pad_collate` + `bucket_by_length` keep padding waste low;
+2. classification works through the padding mask end to end;
+3. serving requests chunk (`batch_size=`) to bound peak memory, and
+   padded inference matches unpadded inference exactly.
+
+Run:  python examples/variable_length.py
+"""
+
+import numpy as np
+
+import repro
+from repro.data import DataLoader, RaggedDataset, pad_collate, pad_ragged
+
+
+def make_ragged_dataset(n: int, rng: np.random.Generator):
+    """Two classes: pure noise vs. noisy sine bursts, random lengths."""
+    series, labels = [], []
+    for _ in range(n):
+        length = int(rng.integers(40, 160))
+        label = int(rng.integers(0, 2))
+        t = np.arange(length)
+        base = np.sin(2 * np.pi * t / 16.0) if label else np.zeros(length)
+        wave = base[:, None] + 0.3 * rng.standard_normal((length, 2))
+        series.append(wave)
+        labels.append(label)
+    return RaggedDataset(series, y=np.array(labels))
+
+
+def main() -> None:
+    repro.seed_all(0)
+    rng = np.random.default_rng(0)
+
+    train = make_ragged_dataset(192, rng)
+    valid = make_ragged_dataset(48, rng)
+    print(
+        f"ragged dataset: {len(train)} train series, lengths "
+        f"{int(train.lengths.min())}-{int(train.lengths.max())}"
+    )
+
+    config = repro.RitaConfig(
+        input_channels=2, max_len=160, dim=32, n_heads=2, n_layers=2,
+        attention="group", n_groups=16, n_classes=2, dropout=0.0,
+    )
+    model = repro.RitaModel(config, rng=rng)
+
+    # Length-bucketed loader: batches group similar lengths, so padding
+    # waste stays near zero (the paper's batching-by-length trick).
+    loader = DataLoader(
+        train, batch_size=16, shuffle=True, rng=rng,
+        collate_fn=pad_collate, bucket_by_length=True,
+    )
+    padded = sum(batch["mask"].size for batch in loader)
+    valid_steps = int(sum(batch["mask"].sum() for batch in loader))
+    print(f"padding waste with bucketing: {1 - valid_steps / padded:.1%}")
+
+    trainer = repro.Trainer(
+        model, repro.ClassificationTask(), repro.AdamW(model.parameters(), lr=1e-3)
+    )
+    history = trainer.fit(
+        train, epochs=3, batch_size=16, val_dataset=valid, rng=rng,
+        collate_fn=pad_collate, bucket_by_length=True,
+    )
+    print(f"val accuracy after {len(history.epochs)} epochs: "
+          f"{history.final.val_metrics['accuracy']:.2f}")
+
+    # Serving: pad the request, pass the mask, chunk for bounded memory.
+    request = [valid[i]["x"] for i in range(8)]
+    batch, mask = pad_ragged(request)
+    predictions = model.predict(batch, mask=mask, batch_size=4)
+    solo = np.array([int(model.predict(s[None])[0]) for s in request])
+    print(f"chunked padded predictions: {predictions.tolist()}")
+    print(f"match unpadded one-by-one:  {(predictions == solo).all()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -58,9 +58,13 @@ from repro.data import (
     ArrayDataset,
     DataLoader,
     DatasetBundle,
+    RaggedDataset,
     Scaler,
     load_dataset,
+    pad_collate,
+    pad_ragged,
     table1_rows,
+    unpad,
 )
 from repro.baselines import GrailClassifier, TSTConfig, TSTModel
 
@@ -102,9 +106,13 @@ __all__ = [
     "ArrayDataset",
     "DataLoader",
     "DatasetBundle",
+    "RaggedDataset",
     "Scaler",
     "load_dataset",
+    "pad_collate",
+    "pad_ragged",
     "table1_rows",
+    "unpad",
     "GrailClassifier",
     "TSTConfig",
     "TSTModel",

@@ -6,9 +6,27 @@ Every mechanism consumes per-head query/key/value tensors of shape
 QKV/output projections, so mechanisms are interchangeable — exactly how
 the paper swaps Vanilla / Performer / Linformer / Group Attention inside
 the same RITA architecture for its comparisons.
+
+Padding masks
+-------------
+Real recordings have different lengths; ragged batches arrive padded to a
+common ``n`` together with a boolean **validity mask** ``(B, n)`` (true =
+real position, false = padding).  Every mechanism accepts that mask as an
+optional ``mask`` argument and guarantees the *mask-parity invariant*:
+
+* outputs at valid positions equal the outputs of running each sequence
+  unpadded (up to floating-point summation order), and
+* outputs at valid positions are bitwise independent of whatever values
+  the padded positions contain — padded keys/values contribute exact
+  zeros, never rounding dust.
+
+Outputs at padded positions are unspecified (zeros for the masked-softmax
+mechanisms); callers must not read them.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 from repro.autograd.tensor import Tensor
 from repro.nn.module import Module
@@ -22,7 +40,7 @@ class AttentionMechanism(Module):
     #: Identifier used by the memory model and experiment harness.
     kind: str = "base"
 
-    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+    def forward(self, q: Tensor, k: Tensor, v: Tensor, mask: np.ndarray | None = None) -> Tensor:
         raise NotImplementedError
 
     def memory_kwargs(self) -> dict:

@@ -93,6 +93,10 @@ class _GroupCache:
     n_groups: int
     training: bool
     steps_since: int = 0
+    #: (B*H, n) validity mask the partition was computed under (None =
+    #: dense batch).  A different mask means a different ragged batch, so
+    #: the cached partition does not apply.
+    mask: np.ndarray | None = None
 
 
 class GroupAttention(AttentionMechanism):
@@ -205,17 +209,20 @@ class GroupAttention(AttentionMechanism):
         self._cache = None
 
     def _try_reuse_cache(
-        self, keys_flat: np.ndarray, n_groups: int
+        self, keys_flat: np.ndarray, n_groups: int, mask_flat: np.ndarray | None
     ) -> tuple[_GroupCache | None, float]:
         """The cached partition if still valid for these keys, plus drift.
 
         Validity: same ``(B*H, n, d_k)`` geometry and dtype, same ``N``
         (adaptive-scheduler changes invalidate), same train/eval mode,
+        same padding mask (a different ragged batch is different data),
         cadence budget left, and key drift within the Lemma-1 guard.  The
         guard is per ``(batch*head)`` element — each element's max key
         movement must stay within ``drift_tolerance`` times *its own* max
         cluster radius, so one loose head cannot license stale partitions
-        for the tight ones.
+        for the tight ones.  Padded keys are ignored by the drift check:
+        they belong to no group, so their movement says nothing about the
+        cached partition's quality.
         """
         cache = self._cache
         if cache is None or self.recluster_every <= 1:
@@ -228,21 +235,35 @@ class GroupAttention(AttentionMechanism):
             or cache.steps_since + 1 >= self.recluster_every
         ):
             return None, 0.0
+        if (cache.mask is None) != (mask_flat is None) or (
+            cache.mask is not None and not np.array_equal(cache.mask, mask_flat)
+        ):
+            return None, 0.0
         movement = keys_flat - cache.keys
-        per_elem = np.sqrt(np.einsum("bnd,bnd->bn", movement, movement).max(axis=1))
+        sq_move = np.einsum("bnd,bnd->bn", movement, movement)
+        if mask_flat is not None:
+            sq_move = sq_move * mask_flat
+        per_elem = np.sqrt(sq_move.max(axis=1))
         drift = float(per_elem.max())
         allowed = self.drift_tolerance * cache.clustering.radii.max(axis=1)
         if (per_elem > allowed).any():
             return None, drift
         return cache, drift
 
-    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+    def forward(self, q: Tensor, k: Tensor, v: Tensor, mask: np.ndarray | None = None) -> Tensor:
         batch, heads, n, d_k = k.shape
         n_groups = min(self.n_groups, n)
 
         t0 = time.perf_counter()
         keys_flat = k.data.reshape(batch * heads, n, d_k)
-        cache, drift = self._try_reuse_cache(keys_flat, n_groups)
+        mask_flat = None
+        if mask is not None:
+            mask = np.asarray(mask, dtype=bool)
+            # (B, n) -> (B*H, n): every head shares its batch element's mask.
+            mask_flat = np.ascontiguousarray(
+                np.broadcast_to(mask[:, None, :], (batch, heads, n))
+            ).reshape(batch * heads, n)
+        cache, drift = self._try_reuse_cache(keys_flat, n_groups, mask_flat)
         if cache is not None:
             cache.steps_since += 1
             steps_since = cache.steps_since
@@ -252,7 +273,7 @@ class GroupAttention(AttentionMechanism):
             init_centers = self._warm_start_centers(batch * heads, n_groups, d_k)
             clustering = batched_kmeans(
                 keys_flat, n_groups, n_iters=self.kmeans_iters, rng=self._rng,
-                init=self.init, init_centers=init_centers,
+                init=self.init, init_centers=init_centers, mask=mask_flat,
             )
             if self.warm_start:
                 self._prev_centers = clustering.centers
@@ -262,6 +283,7 @@ class GroupAttention(AttentionMechanism):
                     keys=keys_flat,
                     n_groups=clustering.n_clusters,
                     training=self.training,
+                    mask=mask_flat,
                 )
             else:
                 # Never reusable — don't pin the key tensor in memory.
@@ -274,8 +296,19 @@ class GroupAttention(AttentionMechanism):
         ids = clustering.assignments.reshape(batch, heads, n)
         counts = clustering.counts.reshape(batch, heads, n_groups).astype(k.data.dtype)
 
-        # Differentiable group representatives: mean of member keys.
-        key_sums = kernels.segment_sum(k, ids, n_groups)
+        if mask is None:
+            # Differentiable group representatives: mean of member keys.
+            key_sums = kernels.segment_sum(k, ids, n_groups)
+            v_agg = kernels.segment_sum(v, ids, n_groups)
+        else:
+            # Padded keys carry the sentinel id N (see batched_kmeans): the
+            # scatter runs over N + 1 segments and the discard row is
+            # sliced off, so group sums are bitwise free of padded
+            # contributions while segment_sum stays a single exact autograd
+            # node (the slice is differentiable; discarded gradients are
+            # zero for padded rows by construction).
+            key_sums = kernels.segment_sum(k, ids, n_groups + 1)[..., :n_groups, :]
+            v_agg = kernels.segment_sum(v, ids, n_groups + 1)[..., :n_groups, :]
         safe_counts = np.maximum(counts, 1.0)[..., None]
         representatives = key_sums / safe_counts  # (B, H, N, d_k)
 
@@ -283,19 +316,25 @@ class GroupAttention(AttentionMechanism):
 
         # Group softmax (Eq. 3): exp / count-weight / normalize as ONE fused
         # kernel with a single hand-written backward (max-shift stabilized
-        # inside the kernel).
-        attn = kernels.fused_group_softmax(scores, counts)  # (B, H, n, N)
+        # inside the kernel).  On ragged batches the counts already exclude
+        # padded keys; the query mask zeroes padded queries' rows.
+        query_mask = None if mask is None else mask[:, None, :]
+        attn = kernels.fused_group_softmax(scores, counts, query_mask)  # (B, H, n, N)
 
         # Embedding aggregation (Alg. 1 line 3) and output (line 11).
-        v_agg = kernels.segment_sum(v, ids, n_groups)
         out = attn @ v_agg
 
+        if mask is None:
+            key_radius = float(np.linalg.norm(keys_flat, axis=-1).max())
+        else:
+            norms = np.linalg.norm(keys_flat, axis=-1)
+            key_radius = float((norms * mask_flat).max())
         self.last_stats = GroupStats(
             n_groups=n_groups,
             centers=clustering.centers,
             radii=clustering.radii,
             counts=clustering.counts,
-            key_radius=float(np.linalg.norm(keys_flat, axis=-1).max()),
+            key_radius=key_radius,
             grouping_seconds=grouping_seconds,
             reclustered=reclustered,
             steps_since_recluster=steps_since,

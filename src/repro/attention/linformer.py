@@ -54,11 +54,20 @@ class LinformerAttention(AttentionMechanism):
         self.key_proj = Parameter(init.normal((self.proj_dim, self.max_len), std=scale, rng=rng))
         self.value_proj = Parameter(init.normal((self.proj_dim, self.max_len), std=scale, rng=rng))
 
-    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+    def forward(self, q: Tensor, k: Tensor, v: Tensor, mask: np.ndarray | None = None) -> Tensor:
         n = q.shape[-2]
         if n > self.max_len:
             raise ShapeError(f"sequence length {n} exceeds Linformer max_len {self.max_len}")
         d_k = q.shape[-1]
+        if mask is not None:
+            # The sequence-dimension projections mix every key/value row
+            # into each projected row, so masking scores cannot work here.
+            # Zeroing padded k/v rows *before* projection is exact instead:
+            # ``E[:, :n] @ k_zeroed == E[:, :n_valid] @ k_valid`` because the
+            # padded rows contribute exact-zero terms to every projection.
+            row_mask = np.asarray(mask, dtype=bool)[:, None, :, None].astype(k.dtype)
+            k = k * row_mask
+            v = v * row_mask
         e_slice = self.key_proj[:, :n]  # (k, n)
         f_slice = self.value_proj[:, :n]
         projected_k = e_slice @ k  # (B, H, k, d_k) via broadcasting

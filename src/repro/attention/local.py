@@ -14,41 +14,58 @@ the idealized banded cost.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 
 import numpy as np
 
-from repro.autograd import ops
 from repro.autograd.tensor import Tensor
 from repro.attention.base import AttentionMechanism
 from repro.kernels import functional as kernels
 
 __all__ = ["LocalAttention"]
 
+#: Band masks are O(n^2) bools each; with variable-length batches every
+#: distinct padded length would otherwise pin one forever.  A small LRU
+#: keeps the common lengths hot and bounds the cache.
+_MASK_CACHE_SIZE = 8
+
 
 class LocalAttention(AttentionMechanism):
-    """Banded softmax attention with radius ``window``."""
+    """Banded softmax attention with radius ``window``.
+
+    With a ``(B, n)`` validity ``mask``, a position attends to in-band
+    *valid* neighbours only, so ragged batches match their unpadded
+    forwards exactly.
+    """
 
     kind = "local"
 
     def __init__(self, window: int = 16) -> None:
         super().__init__()
         self.window = int(window)
-        self._mask_cache: dict[int, np.ndarray] = {}
+        self._mask_cache: OrderedDict[int, np.ndarray] = OrderedDict()
 
-    def _band_mask(self, n: int) -> np.ndarray:
-        mask = self._mask_cache.get(n)
-        if mask is None:
+    def _band_valid(self, n: int) -> np.ndarray:
+        """Boolean ``(n, n)`` band: true where ``|i - j| <= window`` (LRU-cached)."""
+        band = self._mask_cache.get(n)
+        if band is None:
             offsets = np.abs(np.arange(n)[:, None] - np.arange(n)[None, :])
-            mask = offsets > self.window
-            self._mask_cache[n] = mask
-        return mask
+            band = offsets <= self.window
+            self._mask_cache[n] = band
+            while len(self._mask_cache) > _MASK_CACHE_SIZE:
+                self._mask_cache.popitem(last=False)
+        else:
+            self._mask_cache.move_to_end(n)
+        return band
 
-    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+    def forward(self, q: Tensor, k: Tensor, v: Tensor, mask: np.ndarray | None = None) -> Tensor:
         d_k = q.shape[-1]
         n = q.shape[-2]
         scores = (q @ k.swapaxes(-1, -2)) * (1.0 / math.sqrt(d_k))
-        scores = ops.masked_fill(scores, self._band_mask(n), -1e9)
-        attn = kernels.softmax(scores, axis=-1)
+        valid = self._band_valid(n)[None, None]
+        if mask is not None:
+            valid = valid & np.asarray(mask, dtype=bool)[:, None, None, :]
+        attn = kernels.masked_softmax(scores, valid, axis=-1)
         return attn @ v
 
     def memory_kwargs(self) -> dict:

@@ -54,9 +54,15 @@ class MultiHeadSelfAttention(Module):
         batch, heads, n, head_dim = x.shape
         return x.transpose((0, 2, 1, 3)).reshape(batch, n, heads * head_dim)
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        """Apply the mechanism; ``mask`` is the ``(B, n)`` validity mask.
+
+        Padded positions flow through the projections (they are
+        per-position affine maps, so no cross-position leakage), and the
+        mechanism excludes them from every attention computation.
+        """
         q = self._split_heads(self.w_query(x))
         k = self._split_heads(self.w_key(x))
         v = self._split_heads(self.w_value(x))
-        out = self.mechanism(q, k, v)
+        out = self.mechanism(q, k, v, mask=mask)
         return self.w_out(self._merge_heads(out))

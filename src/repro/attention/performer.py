@@ -75,23 +75,29 @@ class PerformerAttention(AttentionMechanism):
             self._features = orthogonal_gaussian_features(self.n_features, dim, self._rng)
         return self._features
 
-    def _phi(self, x: Tensor, omega: np.ndarray) -> Tensor:
+    def _phi(self, x: Tensor, omega: np.ndarray, mask: np.ndarray | None = None) -> Tensor:
         """Positive random feature map with per-tensor max stabilization.
 
         One fused kernel node (projection, square norm, exp, scaling); the
-        max shift is a constant that cancels in the ``D^-1`` ratio.
+        max shift is a constant that cancels in the ``D^-1`` ratio.  With a
+        mask, the shift is taken over valid rows only and padded rows come
+        out exactly zero (see :func:`repro.kernels.functional.performer_phi`).
         """
-        return kernels.performer_phi(x, omega)
+        return kernels.performer_phi(x, omega, mask=mask)
 
-    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+    def forward(self, q: Tensor, k: Tensor, v: Tensor, mask: np.ndarray | None = None) -> Tensor:
         self._calls += 1
         d_k = q.shape[-1]
         omega = self._feature_matrix(d_k)
         if omega.dtype != q.dtype:
             omega = omega.astype(q.dtype)
         scale = d_k ** -0.25
-        phi_q = self._phi(q * scale, omega)  # (B, H, n, m)
-        phi_k = self._phi(k * scale, omega)
+        # Padded phi-features are zeroed inside the kernel, so padded keys
+        # contribute exact zeros to the KV aggregate and the normalizer
+        # (and padded queries' outputs are zero / don't-care).
+        row_mask = None if mask is None else np.asarray(mask, dtype=bool)[:, None, :]
+        phi_q = self._phi(q * scale, omega, row_mask)  # (B, H, n, m)
+        phi_k = self._phi(k * scale, omega, row_mask)
 
         kv = phi_k.swapaxes(-1, -2) @ v  # (B, H, m, d_v)
         numerator = phi_q @ kv  # (B, H, n, d_v)

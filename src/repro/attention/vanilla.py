@@ -8,6 +8,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.autograd.tensor import Tensor
 from repro.attention.base import AttentionMechanism
 from repro.kernels import functional as kernels
@@ -16,12 +18,21 @@ __all__ = ["VanillaAttention"]
 
 
 class VanillaAttention(AttentionMechanism):
-    """Exact softmax attention: ``O = softmax(Q K^T / sqrt(d_k)) V``."""
+    """Exact softmax attention: ``O = softmax(Q K^T / sqrt(d_k)) V``.
+
+    With a ``(B, n)`` validity ``mask``, padded keys are excluded from the
+    softmax (probability exactly 0), so valid rows match the unpadded
+    forward and never see padded content.
+    """
 
     kind = "vanilla"
 
-    def forward(self, q: Tensor, k: Tensor, v: Tensor) -> Tensor:
+    def forward(self, q: Tensor, k: Tensor, v: Tensor, mask: np.ndarray | None = None) -> Tensor:
         d_k = q.shape[-1]
         scores = (q @ k.swapaxes(-1, -2)) * (1.0 / math.sqrt(d_k))
-        attn = kernels.softmax(scores, axis=-1)
+        if mask is None:
+            attn = kernels.softmax(scores, axis=-1)
+        else:
+            key_mask = np.asarray(mask, dtype=bool)[:, None, None, :]
+            attn = kernels.masked_softmax(scores, key_mask, axis=-1)
         return attn @ v

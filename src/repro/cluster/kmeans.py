@@ -41,12 +41,16 @@ class KMeansResult:
     Attributes
     ----------
     assignments:
-        ``(B, n)`` int array; cluster id of each point.
+        ``(B, n)`` int array; cluster id of each point.  When the run was
+        masked, invalid (padded) points carry the sentinel id ``N`` — one
+        past the last real cluster — so scatter consumers can route them
+        to a discard segment.
     centers:
         ``(B, N, d)`` cluster centroids.  Empty clusters keep their previous
-        (or initial) center.
+        (or initial) center.  Masked runs compute centroids from valid
+        members only; padded points never contribute.
     counts:
-        ``(B, N)`` cluster sizes.
+        ``(B, N)`` cluster sizes (valid members only on masked runs).
     radii:
         ``(B, N)`` max distance from any member to its center (0 for empty
         clusters).  This is the ``max_x |x - c_k|`` quantity of Lemma 2.
@@ -85,11 +89,15 @@ def kmeans_pp_init(
     points: np.ndarray,
     n_clusters: int,
     rng: np.random.Generator | None = None,
+    mask: np.ndarray | None = None,
 ) -> np.ndarray:
     """k-means++ seeding, batched over the leading dimension.
 
     Returns ``(B, N, d)`` initial centers.  Used when no warm-start centers
     are available (first training iteration of each group-attention layer).
+    With a boolean ``(B, n)`` ``mask`` (true = valid), invalid points get
+    zero sampling weight, so padded keys are never chosen as seeds unless a
+    batch element has fewer valid points than clusters.
     """
     generator = get_rng(rng)
     batch, n, dim = points.shape
@@ -99,7 +107,14 @@ def kmeans_pp_init(
     # (B, n, d) difference tensor per new center.
     points_sq = np.einsum("bnd,bnd->bn", points, points, optimize=True)
     centers = np.empty((batch, n_clusters, dim), dtype=points.dtype)
-    first = generator.integers(0, n, size=batch)
+    if mask is None:
+        first = generator.integers(0, n, size=batch)
+    else:
+        # Uniform draw among valid points: random keys, invalid set below
+        # every valid key.  Draw count is mask-independent, keeping the
+        # generator stream aligned across ragged batches of one shape.
+        keys = generator.random((batch, n))
+        first = np.where(mask, keys, -1.0).argmax(axis=1)
     centers[:, 0] = points[rows, first]
     closest = None
     for k in range(1, n_clusters):
@@ -110,11 +125,21 @@ def kmeans_pp_init(
         np.maximum(dist_new, 0.0, out=dist_new)
         if closest is None:
             closest = dist_new
+            if mask is not None:
+                closest *= mask
         else:
             np.minimum(closest, dist_new, out=closest)
+            if mask is not None:
+                closest *= mask
         total = closest.sum(axis=1, keepdims=True)
-        # Guard: all points identical -> sample uniformly.
-        probs = np.where(total > 0, closest / np.maximum(total, 1e-30), 1.0 / n)
+        # Guard: all (valid) points identical -> sample uniformly, but
+        # never over padded positions — a padded seed would smuggle padded
+        # values into the centroids.
+        if mask is None:
+            fallback = 1.0 / n
+        else:
+            fallback = mask / np.maximum(mask.sum(axis=1, keepdims=True), 1)
+        probs = np.where(total > 0, closest / np.maximum(total, 1e-30), fallback)
         cumulative = np.cumsum(probs, axis=1)
         draws = generator.random((batch, 1))
         chosen = (cumulative < draws).sum(axis=1).clip(0, n - 1)
@@ -129,6 +154,7 @@ def batched_kmeans(
     init_centers: np.ndarray | None = None,
     rng: np.random.Generator | None = None,
     init: str = "random",
+    mask: np.ndarray | None = None,
 ) -> KMeansResult:
     """Run a few Lloyd iterations of K-means on each batch element.
 
@@ -146,6 +172,13 @@ def batched_kmeans(
         come from the previous training step of the same layer.
     init:
         ``"random"`` (sample N distinct points) or ``"++"`` (k-means++).
+    mask:
+        Optional boolean ``(B, n)`` validity mask (true = valid point).
+        Invalid (padded) points are excluded from seeding, center updates,
+        counts, radii, and inertia — they are routed to a discard segment
+        ``N`` during the scatter reductions, so centroids are bitwise free
+        of padded-point contributions.  Their ``assignments`` entries carry
+        the sentinel id ``N``.
 
     Notes
     -----
@@ -165,6 +198,10 @@ def batched_kmeans(
     n_clusters = int(min(n_clusters, n))
     if n_clusters < 1:
         raise ShapeError("n_clusters must be >= 1")
+    if mask is not None:
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (batch, n):
+            raise ShapeError(f"mask shape {mask.shape} != {(batch, n)}")
     backend = get_backend()
 
     if init_centers is not None:
@@ -174,23 +211,42 @@ def batched_kmeans(
             )
         centers = init_centers.astype(points.dtype, copy=True)
     elif init == "++":
-        centers = kmeans_pp_init(points, n_clusters, rng=generator)
+        centers = kmeans_pp_init(points, n_clusters, rng=generator, mask=mask)
     else:
-        # Sample N distinct indices per batch element in one pass.
-        choice = np.argsort(generator.random((batch, n)), axis=1)[:, :n_clusters]
+        # Sample N distinct indices per batch element in one pass.  With a
+        # mask, invalid points sort last, so valid points fill the seed
+        # slots first (a batch element with fewer valid points than
+        # clusters seeds the excess from padding; those clusters end up
+        # empty and harmless).
+        keys = generator.random((batch, n))
+        if mask is not None:
+            keys = np.where(mask, keys, 2.0)
+        choice = np.argsort(keys, axis=1)[:, :n_clusters]
         centers = np.take_along_axis(points, choice[:, :, None], axis=1).copy()
+
+    # Masked runs scatter into N + 1 segments; segment N is the discard
+    # bucket for padded points and is sliced off every reduction.
+    sentinel = n_clusters
+    n_segments = n_clusters + 1 if mask is not None else n_clusters
 
     # |v|^2 is constant across Lloyd iterations — compute it once and let
     # the backend skip it inside the argmin entirely.
     points_sq = np.einsum("bnd,bnd->bn", points, points, optimize=True)
     for _ in range(max(n_iters, 1)):
         assignments, _ = backend.kmeans_assign(points, centers, points_sq)
-        means, counts = backend.segment_mean(points, assignments, n_clusters)
+        if mask is not None:
+            assignments = np.where(mask, assignments, sentinel)
+        means, counts = backend.segment_mean(points, assignments, n_segments)
+        means, counts = means[:, :n_clusters], counts[:, :n_clusters]
         centers = np.where((counts > 0)[:, :, None], means, centers)
 
     assignments, member_sq = backend.kmeans_assign(points, centers, points_sq)
-    counts = backend.segment_count(assignments, n_clusters)
-    radii_sq = backend.segment_max(member_sq, assignments, n_clusters, initial=0.0)
+    if mask is not None:
+        assignments = np.where(mask, assignments, sentinel)
+        member_sq = member_sq * mask
+    counts = backend.segment_count(assignments, n_segments)[:, :n_clusters]
+    radii_sq = backend.segment_max(member_sq, assignments, n_segments, initial=0.0)
+    radii_sq = radii_sq[:, :n_clusters]
 
     inertia = member_sq.sum(axis=1)
     return KMeansResult(

@@ -2,8 +2,9 @@
 
 from repro.data.dataset import ArrayDataset, train_val_split
 from repro.data.dataloader import DataLoader
+from repro.data.collate import RaggedDataset, pad_collate, pad_ragged, unpad
 from repro.data.masking import Scaler, apply_timestamp_mask, mask_tail
-from repro.data.windows import sliding_windows
+from repro.data.windows import ragged_windows, sliding_windows
 from repro.data.synthetic import (
     GeneratedData,
     HAR_PROFILES,
@@ -24,9 +25,14 @@ __all__ = [
     "ArrayDataset",
     "train_val_split",
     "DataLoader",
+    "RaggedDataset",
+    "pad_collate",
+    "pad_ragged",
+    "unpad",
     "Scaler",
     "apply_timestamp_mask",
     "mask_tail",
+    "ragged_windows",
     "sliding_windows",
     "GeneratedData",
     "HAR_PROFILES",

@@ -1,0 +1,151 @@
+"""Padding collation for variable-length (ragged) series batches.
+
+Real recordings differ in length (the paper's Fig. 4 sweeps 512-8192);
+fixed-window batching either drops tails or cannot batch at all.  This
+module provides the ragged path:
+
+* :class:`RaggedDataset` — aligned arrays where ``"x"`` is a *list* of
+  ``(L_i, m)`` series of varying length;
+* :func:`pad_ragged` — left-aligned zero padding to a common length plus
+  the boolean validity mask every mask-aware component consumes;
+* :func:`unpad` — the inverse (mask round-trip);
+* :func:`pad_collate` — a :class:`~repro.data.dataloader.DataLoader`
+  ``collate_fn`` turning a ragged batch dict into ``(windows, mask)``.
+
+Padding is **left-aligned** (valid prefix, padded tail) and the pad value
+is 0.0 by default, matching the zero padding of the time-aware
+convolution so a padded forward reproduces the unpadded one exactly (see
+``RitaModel.window_mask``).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+__all__ = ["RaggedDataset", "pad_ragged", "pad_collate", "unpad"]
+
+
+def pad_ragged(
+    series: Sequence[np.ndarray],
+    pad_value: float = 0.0,
+    length: int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Pad ``(L_i, m)`` series to ``(B, L_max, m)`` plus a ``(B, L_max)`` mask.
+
+    ``mask[b, t]`` is true where ``t < L_b`` (left-aligned padding).
+    ``length`` forces a common length larger than the longest series
+    (e.g. to reuse one Linformer projection across batches).
+    """
+    if not len(series):
+        raise ShapeError("pad_ragged received no series")
+    arrays = [np.asarray(s) for s in series]
+    for arr in arrays:
+        if arr.ndim != 2:
+            raise ShapeError(f"expected (L, m) series, got {arr.shape}")
+        if arr.shape[0] < 1:
+            raise ShapeError("every series needs >= 1 timestep")
+    channels = {arr.shape[1] for arr in arrays}
+    if len(channels) != 1:
+        raise ShapeError(f"inconsistent channel counts: {sorted(channels)}")
+    lengths = np.array([arr.shape[0] for arr in arrays], dtype=np.int64)
+    longest = int(lengths.max())
+    target = longest if length is None else int(length)
+    if target < longest:
+        raise ShapeError(f"length {target} shorter than longest series {longest}")
+    dtype = np.result_type(*[arr.dtype for arr in arrays])
+    padded = np.full((len(arrays), target, channels.pop()), pad_value, dtype=dtype)
+    for row, arr in zip(padded, arrays):
+        row[: arr.shape[0]] = arr
+    mask = np.arange(target) < lengths[:, None]
+    return padded, mask
+
+
+def unpad(padded: np.ndarray, mask: np.ndarray) -> list[np.ndarray]:
+    """Invert :func:`pad_ragged`: recover the list of ``(L_i, m)`` series."""
+    padded = np.asarray(padded)
+    mask = np.asarray(mask, dtype=bool)
+    if padded.ndim != 3 or mask.shape != padded.shape[:2]:
+        raise ShapeError(
+            f"expected (B, L, m) series with (B, L) mask, got {padded.shape} / {mask.shape}"
+        )
+    lengths = mask.sum(axis=1)
+    return [row[:length].copy() for row, length in zip(padded, lengths)]
+
+
+def pad_collate(batch: Mapping[str, object], pad_value: float = 0.0) -> dict[str, np.ndarray]:
+    """Collate a ragged batch dict into dense arrays plus a validity mask.
+
+    The ``"x"`` entry — a list of ``(L_i, m)`` series as produced by
+    :class:`RaggedDataset` — is padded with :func:`pad_ragged` and the
+    mask is stored under ``"mask"``; every other entry is stacked as-is.
+    Already-dense ``"x"`` arrays pass through *without* a mask, so the
+    same pipeline serves fixed-length datasets on the unmasked hot path
+    (and mask-unaware baseline models keep working).
+    """
+    out: dict[str, np.ndarray] = {}
+    for key, value in batch.items():
+        if key == "x":
+            continue
+        out[key] = np.asarray(value)
+    x = batch["x"]
+    if isinstance(x, np.ndarray) and x.dtype != object:
+        out["x"] = x
+    else:
+        out["x"], out["mask"] = pad_ragged(list(x), pad_value=pad_value)
+    return out
+
+
+class RaggedDataset:
+    """Aligned arrays where ``"x"`` holds variable-length series.
+
+    The ragged sibling of :class:`~repro.data.dataset.ArrayDataset`:
+    ``x`` is a sequence of ``(L_i, m)`` arrays; every extra key (labels,
+    ids, ...) is a dense array aligned on the first axis.  Pair with
+    ``DataLoader(..., collate_fn=pad_collate, bucket_by_length=True)`` so
+    batches group similar lengths and padding waste stays low.
+    """
+
+    def __init__(self, x: Sequence[np.ndarray], **arrays: np.ndarray) -> None:
+        self._series = [np.asarray(s) for s in x]
+        for arr in self._series:
+            if arr.ndim != 2:
+                raise ShapeError(f"expected (L, m) series, got {arr.shape}")
+        channels = {arr.shape[1] for arr in self._series} if self._series else set()
+        if len(channels) > 1:
+            raise ShapeError(f"inconsistent channel counts: {sorted(channels)}")
+        self.arrays: dict[str, np.ndarray] = {k: np.asarray(v) for k, v in arrays.items()}
+        for key, value in self.arrays.items():
+            if len(value) != len(self._series):
+                raise ShapeError(
+                    f"array {key!r} length {len(value)} != {len(self._series)} series"
+                )
+        self.lengths = np.array([arr.shape[0] for arr in self._series], dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __getitem__(self, index) -> dict[str, object]:
+        if np.isscalar(index) or isinstance(index, (int, np.integer)):
+            item: dict[str, object] = {"x": self._series[int(index)]}
+            item.update({k: v[index] for k, v in self.arrays.items()})
+            return item
+        idx = np.asarray(index)
+        batch: dict[str, object] = {"x": [self._series[int(i)] for i in idx]}
+        batch.update({k: v[idx] for k, v in self.arrays.items()})
+        return batch
+
+    @property
+    def keys(self) -> list[str]:
+        return ["x", *self.arrays]
+
+    def subset(self, indices: np.ndarray) -> "RaggedDataset":
+        """New dataset restricted to the given row indices."""
+        idx = np.asarray(indices)
+        return RaggedDataset(
+            [self._series[int(i)] for i in idx],
+            **{k: v[idx] for k, v in self.arrays.items()},
+        )

@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Callable, Iterator
 
 import numpy as np
 
-from repro.data.dataset import ArrayDataset
 from repro.errors import ConfigError
 from repro.rng import get_rng
 
@@ -14,26 +13,53 @@ __all__ = ["DataLoader"]
 
 
 class DataLoader:
-    """Iterates an :class:`ArrayDataset` in (optionally shuffled) batches.
+    """Iterates a dataset in (optionally shuffled) batches.
+
+    Works with any dataset exposing ``__len__`` and array-index
+    ``__getitem__`` (:class:`~repro.data.dataset.ArrayDataset`,
+    :class:`~repro.data.collate.RaggedDataset`).
 
     ``batch_size`` is mutable between epochs — the trainer raises it when
     the batch-size predictor says a larger batch now fits (paper Sec. 5.2).
+
+    Parameters
+    ----------
+    collate_fn:
+        Optional function applied to every raw batch dict before it is
+        yielded.  Pair :func:`~repro.data.collate.pad_collate` with a
+        ragged dataset to emit ``(windows, mask)`` batches.
+    bucket_by_length:
+        Group similar-length series into the same batch (the paper's
+        batching-by-length trick): sequences are ordered by length —
+        random tie-breaks under ``shuffle`` — batches are carved from
+        that order, and the *batch order* is shuffled.  Padding waste per
+        batch stays near zero while epoch composition still varies.
+        Requires a dataset with a ``lengths`` attribute.
     """
 
     def __init__(
         self,
-        dataset: ArrayDataset,
+        dataset,
         batch_size: int,
         shuffle: bool = False,
         drop_last: bool = False,
         rng: np.random.Generator | None = None,
+        collate_fn: Callable[[dict], dict] | None = None,
+        bucket_by_length: bool = False,
     ) -> None:
         if batch_size < 1:
             raise ConfigError("batch_size must be >= 1")
+        if bucket_by_length and getattr(dataset, "lengths", None) is None:
+            raise ConfigError(
+                "bucket_by_length requires a dataset with a 'lengths' attribute "
+                "(e.g. RaggedDataset)"
+            )
         self.dataset = dataset
         self.batch_size = int(batch_size)
         self.shuffle = shuffle
         self.drop_last = drop_last
+        self.collate_fn = collate_fn
+        self.bucket_by_length = bool(bucket_by_length)
         self._rng = get_rng(rng)
         self._order: np.ndarray | None = None  # cached identity order
 
@@ -65,11 +91,36 @@ class DataLoader:
             self._order = np.arange(n)
         return self._order
 
+    def _epoch_batches(self, batch_size: int) -> list[np.ndarray]:
+        """Index chunks for one epoch (one entry per yielded batch)."""
+        if not self.bucket_by_length:
+            order = self._epoch_order()
+            chunks = [
+                order[start : start + batch_size]
+                for start in range(0, len(order), batch_size)
+            ]
+        else:
+            lengths = np.asarray(self.dataset.lengths)
+            if self.shuffle:
+                # Random tie-breaks within equal lengths, so bucket
+                # membership varies between epochs.
+                order = np.lexsort((self._rng.random(len(lengths)), lengths))
+            else:
+                order = np.argsort(lengths, kind="stable")
+            chunks = [
+                order[start : start + batch_size]
+                for start in range(0, len(order), batch_size)
+            ]
+            if self.shuffle:
+                self._rng.shuffle(chunks)
+        if self.drop_last:
+            chunks = [c for c in chunks if len(c) == batch_size]
+        return chunks
+
     def __iter__(self) -> Iterator[dict[str, np.ndarray]]:
         batch_size = self.batch_size  # snapshot; see set_batch_size
-        order = self._epoch_order()
-        for start in range(0, len(order), batch_size):
-            chunk = order[start : start + batch_size]
-            if self.drop_last and len(chunk) < batch_size:
-                return
-            yield self.dataset[chunk]
+        for chunk in self._epoch_batches(batch_size):
+            batch = self.dataset[chunk]
+            if self.collate_fn is not None:
+                batch = self.collate_fn(batch)
+            yield batch

@@ -12,7 +12,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 
-__all__ = ["sliding_windows"]
+__all__ = ["sliding_windows", "ragged_windows"]
 
 
 def sliding_windows(recording: np.ndarray, window: int, step: int | None = None) -> np.ndarray:
@@ -33,3 +33,33 @@ def sliding_windows(recording: np.ndarray, window: int, step: int | None = None)
     if not starts:
         return np.empty((0, window, recording.shape[1]), dtype=recording.dtype)
     return np.stack([recording[s : s + window] for s in starts])
+
+
+def ragged_windows(
+    recording: np.ndarray, window: int, step: int | None = None
+) -> list[np.ndarray]:
+    """Like :func:`sliding_windows`, but the tail is *kept*, not dropped.
+
+    Returns a list of ``(L_i, m)`` arrays: every full window plus — when
+    the recording does not divide evenly — one shorter final window
+    covering the remainder.  Feed the result to
+    :class:`~repro.data.collate.RaggedDataset` /
+    :func:`~repro.data.collate.pad_collate` so no data is discarded; with
+    padding masks through the model, the tail trains like any other
+    sample.
+    """
+    if recording.ndim != 2:
+        raise ShapeError(f"expected (T, m) recording, got {recording.shape}")
+    if window < 1:
+        raise ShapeError("window must be >= 1")
+    step = window if step is None else int(step)
+    if step < 1:
+        raise ShapeError("step must be >= 1")
+    length = recording.shape[0]
+    starts = list(range(0, max(length - window + 1, 0), step))
+    pieces = [recording[s : s + window].copy() for s in starts]
+    # The window after the last full one, truncated at the recording end.
+    next_start = starts[-1] + step if starts else 0
+    if next_start < length:
+        pieces.append(recording[next_start:].copy())
+    return pieces

@@ -54,7 +54,9 @@ _FUNCTIONAL_EXPORTS = (
     "layer_norm",
     "linear",
     "log_softmax",
+    "masked_l1",
     "masked_mse",
+    "masked_softmax",
     "mse",
     "performer_phi",
     "relu",

@@ -90,8 +90,30 @@ class KernelBackend:
     def log_softmax_backward(self, grad: np.ndarray, out: np.ndarray, axis: int) -> np.ndarray:
         raise NotImplementedError
 
-    def group_softmax(self, scores: np.ndarray, counts: np.ndarray) -> np.ndarray:
-        """Count-weighted softmax ``A_ij = e_ij / sum_k c_k e_ik`` (Eq. 3)."""
+    def masked_softmax(self, x: np.ndarray, mask: np.ndarray, axis: int) -> np.ndarray:
+        """Softmax restricted to positions where ``mask`` is true.
+
+        ``mask`` is boolean, broadcastable to ``x``; masked positions get
+        probability exactly 0 (not merely tiny), so downstream products
+        with masked operands contribute exact zeros.  Rows with no valid
+        position return all zeros instead of NaN.  The backward is the
+        plain softmax backward: zero outputs propagate zero gradients.
+        """
+        raise NotImplementedError
+
+    def group_softmax(
+        self,
+        scores: np.ndarray,
+        counts: np.ndarray,
+        query_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Count-weighted softmax ``A_ij = e_ij / sum_k c_k e_ik`` (Eq. 3).
+
+        ``query_mask`` (boolean, broadcastable to ``scores[..., :, 0]``
+        shape ``(..., n)``) zeroes whole rows for padded queries; the
+        denominator is floored at the dtype's tiny so a row whose groups
+        are all empty (every member key padded) yields zeros, not NaN.
+        """
         raise NotImplementedError
 
     def group_softmax_backward(
@@ -222,11 +244,32 @@ class NumpyReferenceBackend(KernelBackend):
     def log_softmax_backward(self, grad: np.ndarray, out: np.ndarray, axis: int) -> np.ndarray:
         return grad - np.exp(out) * grad.sum(axis=axis, keepdims=True)
 
-    def group_softmax(self, scores: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    def masked_softmax(self, x: np.ndarray, mask: np.ndarray, axis: int) -> np.ndarray:
+        # Fill masked scores with a large finite negative (finfo.min / 4
+        # keeps the shift subtraction overflow-free), then force exact
+        # zeros so fully-masked rows divide 0 / tiny instead of producing
+        # NaN and masked positions never contribute rounding dust.
+        info = np.finfo(x.dtype)
+        filled = np.where(mask, x, info.min / 4)
+        shifted = filled - filled.max(axis=axis, keepdims=True)
+        exps = np.exp(shifted) * mask
+        denom = exps.sum(axis=axis, keepdims=True)
+        return exps / np.maximum(denom, info.tiny)
+
+    def group_softmax(
+        self,
+        scores: np.ndarray,
+        counts: np.ndarray,
+        query_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
         shifted = scores - scores.max(axis=-1, keepdims=True)
         exps = np.exp(shifted)
         denom = (exps * counts[..., None, :]).sum(axis=-1, keepdims=True)
-        return exps / denom
+        if query_mask is None:
+            return exps / denom
+        out = exps / np.maximum(denom, np.finfo(scores.dtype).tiny)
+        out *= query_mask[..., None]
+        return out
 
     def group_softmax_backward(
         self, grad: np.ndarray, attn: np.ndarray, counts: np.ndarray

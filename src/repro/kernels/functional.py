@@ -27,6 +27,7 @@ from repro.kernels.backend import _check_segment_shapes, get_backend
 __all__ = [
     "softmax",
     "log_softmax",
+    "masked_softmax",
     "fused_group_softmax",
     "segment_sum",
     "segment_gather",
@@ -38,6 +39,7 @@ __all__ = [
     "mse",
     "masked_mse",
     "l1",
+    "masked_l1",
     "performer_phi",
 ]
 
@@ -86,7 +88,36 @@ def log_softmax(a, axis: int = -1) -> Tensor:
     return Tensor._make(out_data, (a,), backward)
 
 
-def fused_group_softmax(scores, counts) -> Tensor:
+def masked_softmax(a, mask, axis: int = -1) -> Tensor:
+    """Softmax over positions where ``mask`` is true (padding-aware).
+
+    ``mask`` is a boolean array broadcastable to ``a`` and treated as a
+    constant.  Masked positions get probability exactly 0, so products
+    against padded keys/values contribute exact zeros downstream; rows
+    with no valid position return zeros instead of NaN.  The backward is
+    the ordinary softmax backward — zero outputs already propagate zero
+    gradients to masked scores.
+    """
+    a = as_tensor(a)
+    mask_arr = np.asarray(_constant(mask), dtype=bool)
+    try:
+        np.broadcast_shapes(mask_arr.shape, a.shape)
+    except ValueError:
+        raise ShapeError(
+            f"mask shape {mask_arr.shape} does not broadcast to scores {a.shape}"
+        ) from None
+    backend = get_backend()
+    out_data = backend.masked_softmax(a.data, mask_arr, axis)
+    if not _recording(a):
+        return Tensor(out_data)
+
+    def backward(grad):
+        return (backend.softmax_backward(grad, out_data, axis),)
+
+    return Tensor._make(out_data, (a,), backward)
+
+
+def fused_group_softmax(scores, counts, query_mask=None) -> Tensor:
     """The paper's group softmax (Eq. 3) as one fused kernel.
 
     ``A_ij = exp(s_ij) / sum_k count_k exp(s_ik)`` — each group's
@@ -94,6 +125,12 @@ def fused_group_softmax(scores, counts) -> Tensor:
     compressed ``(n, N)`` score matrix normalizes exactly like the full
     ``(n, n)`` one would.  ``counts`` has shape ``(..., N)`` matching the
     ``(..., n, N)`` scores and is treated as a constant.
+
+    Padding awareness: when the caller's ``counts`` exclude padded keys
+    (see :class:`~repro.attention.group.GroupAttention`), the optional
+    boolean ``query_mask`` of shape ``(..., n)`` additionally zeroes the
+    attention rows of padded queries and floors the denominator so rows
+    whose every group is empty yield zeros, not NaN.
     """
     scores = as_tensor(scores)
     counts_arr = _constant(counts)
@@ -102,8 +139,18 @@ def fused_group_softmax(scores, counts) -> Tensor:
         raise ShapeError(
             f"counts shape {counts_arr.shape} must be {expected} for scores {scores.shape}"
         )
+    mask_arr = None
+    if query_mask is not None:
+        mask_arr = np.asarray(_constant(query_mask), dtype=bool)
+        try:
+            np.broadcast_shapes(mask_arr.shape, scores.shape[:-1])
+        except ValueError:
+            raise ShapeError(
+                f"query_mask shape {mask_arr.shape} does not broadcast to "
+                f"score rows {scores.shape[:-1]}"
+            ) from None
     backend = get_backend()
-    attn = backend.group_softmax(scores.data, counts_arr)
+    attn = backend.group_softmax(scores.data, counts_arr, mask_arr)
     if not _recording(scores):
         return Tensor(attn)
 
@@ -286,6 +333,30 @@ def masked_mse(prediction, target, mask) -> Tensor:
     return Tensor._make(out_data, (prediction,), backward)
 
 
+def masked_l1(prediction, target, mask) -> Tensor:
+    """Mean absolute error restricted to true positions of ``mask``.
+
+    The padding-aware sibling of :func:`l1`: ragged batches pass the
+    validity mask (optionally ANDed with a task mask) so padded positions
+    never enter the mean.
+    """
+    prediction = as_tensor(prediction)
+    mask_arr = np.asarray(_constant(mask), dtype=bool)
+    count = int(mask_arr.sum())
+    if count == 0:
+        raise ShapeError("masked_l1 received an empty mask")
+    diff = prediction.data - _constant(target).astype(prediction.dtype, copy=False)
+    diff = diff * mask_arr
+    out_data = np.asarray(np.abs(diff).sum(dtype=np.float64) / count, dtype=prediction.dtype)
+    if not _recording(prediction):
+        return Tensor(out_data)
+
+    def backward(grad):
+        return (unbroadcast(grad * np.sign(diff) / count, prediction.shape),)
+
+    return Tensor._make(out_data, (prediction,), backward)
+
+
 def l1(prediction, target) -> Tensor:
     """Mean absolute error over all elements as a single node."""
     prediction = as_tensor(prediction)
@@ -303,21 +374,38 @@ def l1(prediction, target) -> Tensor:
 # ----------------------------------------------------------------------
 # Performer feature map
 # ----------------------------------------------------------------------
-def performer_phi(x, omega: np.ndarray) -> Tensor:
+def performer_phi(x, omega: np.ndarray, mask=None) -> Tensor:
     """FAVOR+ positive random feature map as one fused node.
 
     ``phi(x) = exp(x . w - |x|^2 / 2 - shift) / sqrt(m)`` with ``omega`` of
     shape ``(m, d)`` treated as a constant and ``shift`` the global max of
     the logits (it cancels in the attention normalizer).  Replaces the
     projection / square-norm / exp chain of ~6 recorded ops.
+
+    ``mask`` (boolean, broadcastable to the ``(..., n)`` row shape) makes
+    the map padding-aware: the stabilizing shift is taken over *valid*
+    rows only and padded rows come out exactly zero, so padded keys
+    contribute exact zeros to the Performer KV/normalizer sums and the
+    output is bitwise independent of whatever the padding contains.
     """
     x = as_tensor(x)
     omega = np.asarray(omega)
     m = omega.shape[0]
+    mask_arr = None if mask is None else np.asarray(_constant(mask), dtype=bool)
     logits = x.data @ omega.T
     sq_norm = 0.5 * np.einsum("...d,...d->...", x.data, x.data, optimize=True)[..., None]
     logits -= sq_norm
-    logits -= logits.max()
+    if mask_arr is None:
+        logits -= logits.max()
+    else:
+        valid = np.broadcast_to(mask_arr[..., None], logits.shape)
+        shift = logits.max(initial=-np.inf, where=valid)
+        logits -= shift if np.isfinite(shift) else 0.0
+        # Neutralize padded rows *before* the exp: their unshifted logits
+        # can sit far above the valid max, and exp would overflow to inf
+        # (inf * 0 = NaN would then poison the KV sums).  -inf exps to an
+        # exact 0 instead.
+        logits[~valid] = -np.inf
     np.exp(logits, out=logits)
     logits *= 1.0 / math.sqrt(m)
     out_data = logits

@@ -89,13 +89,34 @@ class FusedNumpyBackend(NumpyReferenceBackend):
         np.subtract(grad, result, out=result)
         return result
 
-    def group_softmax(self, scores: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    def masked_softmax(self, x: np.ndarray, mask: np.ndarray, axis: int) -> np.ndarray:
+        info = np.finfo(x.dtype)
+        out = np.where(mask, x, info.min / 4)
+        out -= out.max(axis=axis, keepdims=True)
+        np.exp(out, out=out)
+        out *= mask
+        denom = out.sum(axis=axis, keepdims=True)
+        np.maximum(denom, info.tiny, out=denom)
+        out /= denom
+        return out
+
+    def group_softmax(
+        self,
+        scores: np.ndarray,
+        counts: np.ndarray,
+        query_mask: np.ndarray | None = None,
+    ) -> np.ndarray:
         # exp / count-weight / normalize in one pass: the denominator is an
         # einsum against counts, so no (n, N) weighted temporary is built.
         out = scores - scores.max(axis=-1, keepdims=True)
         np.exp(out, out=out)
         denom = np.einsum("...nk,...k->...n", out, counts, optimize=True)
+        if query_mask is None:
+            out /= denom[..., None]
+            return out
+        np.maximum(denom, np.finfo(scores.dtype).tiny, out=denom)
         out /= denom[..., None]
+        out *= query_mask[..., None]
         return out
 
     def group_softmax_backward(

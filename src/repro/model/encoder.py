@@ -68,8 +68,14 @@ class RitaEncoderLayer(Module):
         self.dropout_attention = Dropout(config.dropout)
         self.dropout_ffn = Dropout(config.dropout)
 
-    def forward(self, x: Tensor) -> Tensor:
-        x = self.norm_attention(x + self.dropout_attention(self.attention(x)))
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        """``mask``: optional ``(B, n)`` validity mask for ragged batches.
+
+        Only attention mixes positions; layer norm, the FFN, and dropout
+        are per-position, so masking the attention keys at every layer is
+        sufficient for valid positions to match an unpadded forward.
+        """
+        x = self.norm_attention(x + self.dropout_attention(self.attention(x, mask=mask)))
         x = self.norm_ffn(x + self.dropout_ffn(self.ffn(x)))
         return x
 
@@ -83,9 +89,9 @@ class RitaEncoder(Module):
             RitaEncoderLayer(config, rng) for _ in range(config.n_layers)
         )
 
-    def forward(self, x: Tensor) -> Tensor:
+    def forward(self, x: Tensor, mask: np.ndarray | None = None) -> Tensor:
         for layer in self.layers:
-            x = layer(x)
+            x = layer(x, mask=mask)
         return x
 
     def group_attention_layers(self) -> list[GroupAttention]:

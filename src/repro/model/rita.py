@@ -65,6 +65,11 @@ class TimeAwareConvolution(Module):
 class RitaModel(Module):
     """RITA: time-aware convolution + Transformer encoder + task heads."""
 
+    #: Tasks check this before forwarding a padded batch's validity mask;
+    #: mask-unaware baselines (e.g. TST) leave it false and get a clear
+    #: error instead of a confusing TypeError on ragged data.
+    supports_padding_mask = True
+
     def __init__(self, config: RitaConfig, rng: np.random.Generator | None = None) -> None:
         super().__init__()
         rng = get_rng(rng)
@@ -87,9 +92,58 @@ class RitaModel(Module):
         )
 
     # ------------------------------------------------------------------
+    # Padding-mask plumbing (variable-length batches)
+    # ------------------------------------------------------------------
+    def window_mask(self, mask: np.ndarray) -> np.ndarray:
+        """Window-level validity mask from a series-level one.
+
+        ``mask`` is the boolean ``(B, L)`` validity mask of a left-aligned
+        padded batch (true = real timestep; padding must be a contiguous
+        tail, which is what :func:`repro.data.pad_ragged` produces).
+        Window ``j`` of sequence ``i`` is valid iff the unpadded sequence
+        would have produced it — i.e. ``j < n_windows(length_i)`` — so a
+        padded forward emits exactly the windows the unpadded forward
+        would (zero padding matches the convolution's own zero padding).
+        """
+        mask = np.asarray(mask, dtype=bool)
+        if mask.ndim != 2:
+            raise ShapeError(f"expected (B, L) series mask, got {mask.shape}")
+        lengths = mask.sum(axis=1)
+        if (lengths == 0).any():
+            raise ShapeError("every series in a padded batch needs >= 1 valid timestep")
+        prefix = np.arange(mask.shape[1]) < lengths[:, None]
+        if not np.array_equal(mask, prefix):
+            raise ShapeError(
+                "padding mask must be left-aligned (valid prefix, padded tail); "
+                "re-pad with repro.data.pad_ragged"
+            )
+        config = self.config
+        n_valid = (
+            lengths + 2 * config.conv_padding - config.window_size
+        ) // config.conv_stride + 1
+        total = config.n_windows(mask.shape[1])
+        return np.arange(total) < np.maximum(n_valid, 0)[:, None]
+
+    @staticmethod
+    def pool_windows(windows: Tensor, window_mask: np.ndarray | None = None) -> Tensor:
+        """Mean-pool ``(B, n, d)`` window embeddings into ``(B, d)``.
+
+        With a window-level validity mask, padded windows are excluded
+        from both the sum and the divisor (masked mean pooling), so the
+        pooled embedding of a padded series equals its unpadded one.
+        """
+        if window_mask is None:
+            return windows.mean(axis=1)
+        window_mask = np.asarray(window_mask, dtype=bool)
+        weights = window_mask.astype(windows.dtype)[..., None]
+        totals = (windows * weights).sum(axis=1)
+        counts = np.maximum(window_mask.sum(axis=1, keepdims=True), 1).astype(windows.dtype)
+        return totals / counts
+
+    # ------------------------------------------------------------------
     # Core encoding
     # ------------------------------------------------------------------
-    def encode(self, series) -> tuple[Tensor, Tensor]:
+    def encode(self, series, mask: np.ndarray | None = None) -> tuple[Tensor, Tensor]:
         """Encode raw series; returns ``(cls_embedding, window_embeddings)``.
 
         ``cls_embedding``: ``(B, d)`` — the series-level representation.
@@ -98,35 +152,62 @@ class RitaModel(Module):
         Incoming series are cast to the policy compute dtype (float32 by
         default) so the whole forward pass runs in one dtype; float64
         datasets do not silently promote a float32 model.
+
+        ``mask`` is an optional boolean ``(B, L)`` validity mask for
+        ragged batches padded to a common length (see
+        :func:`repro.data.pad_ragged`).  The derived window mask — with
+        the always-valid [CLS] slot prepended — flows through every
+        encoder layer, so embeddings at valid positions match running
+        each sequence unpadded; window embeddings at padded positions are
+        unspecified.
         """
         series = ops.astype(as_tensor(series), get_default_dtype())
+        if mask is not None:
+            # Zero the padded tail so boundary windows (receptive fields
+            # straddling the valid end) see exactly the zeros the unpadded
+            # forward's convolution padding would supply — valid outputs
+            # become independent of whatever the caller padded with.
+            series = series * np.asarray(mask, dtype=bool)[:, :, None].astype(series.dtype)
         windows = self.frontend(series)  # (B, n, d)
         batch = windows.shape[0]
+        full_mask = None
+        if mask is not None:
+            wmask = self.window_mask(mask)
+            if wmask.shape[1] != windows.shape[1]:
+                raise ShapeError(
+                    f"mask length {np.asarray(mask).shape[1]} inconsistent with "
+                    f"series length {series.shape[1]}"
+                )
+            cls_valid = np.ones((batch, 1), dtype=bool)
+            full_mask = np.concatenate([cls_valid, wmask], axis=1)
         cls = ops.broadcast_to(self.cls_token, (batch, 1, self.config.dim))
         stacked = ops.concat([cls, windows], axis=1)
         positioned = self.positions(stacked)
-        hidden = self.encoder(positioned)
+        hidden = self.encoder(positioned, mask=full_mask)
         return hidden[:, 0, :], hidden[:, 1:, :]
 
     # ------------------------------------------------------------------
     # Heads (paper A.7)
     # ------------------------------------------------------------------
-    def classify(self, series) -> Tensor:
+    def classify(self, series, mask: np.ndarray | None = None) -> Tensor:
         """Class logits from the [CLS] representation (A.7.1)."""
         if self.classifier is None:
             raise ConfigError("model was built without n_classes; no classifier head")
-        cls_embedding, _ = self.encode(series)
+        cls_embedding, _ = self.encode(series, mask=mask)
         return self.classifier(cls_embedding)
 
-    def reconstruct(self, series) -> Tensor:
+    def reconstruct(self, series, mask: np.ndarray | None = None) -> Tensor:
         """Decode window embeddings back to a ``(B, L, m)`` series (A.7.2).
 
         Used for imputation (masked positions) and forecasting (masked
         tail).  The transpose convolution mirrors the front end geometry.
+        On ragged batches, reconstructed values beyond each sequence's
+        valid length are unspecified — losses and metrics must restrict
+        themselves to ``mask`` (see ``MaskedMSELoss``).
         """
         series = as_tensor(series)
         length = series.shape[1]
-        _, windows = self.encode(series)
+        _, windows = self.encode(series, mask=mask)
         channels_first = windows.transpose((0, 2, 1))
         decoded = self.decoder(channels_first).transpose((0, 2, 1))
         if decoded.shape[1] < length:
@@ -152,31 +233,86 @@ class RitaModel(Module):
             if was_training:
                 self.train()
 
-    def predict_logits(self, series) -> np.ndarray:
+    def _serve_chunked(self, fn, series, mask, batch_size: int | None) -> np.ndarray:
+        """Run ``fn(series_chunk, mask_chunk)`` over bounded-size chunks.
+
+        ``batch_size=None`` keeps the single-pass behaviour.  Chunking
+        bounds peak activation memory for large serving requests — a
+        10k-sample request otherwise materializes every intermediate at
+        full batch size even on the no-grad fast path.
+        """
+        series_arr = series.data if isinstance(series, Tensor) else np.asarray(series)
+        mask_arr = None if mask is None else np.asarray(mask, dtype=bool)
+        if batch_size is None or len(series_arr) <= batch_size:
+            return fn(series_arr, mask_arr)
+        if batch_size < 1:
+            raise ConfigError("batch_size must be >= 1 or None")
+        pieces = []
+        for start in range(0, len(series_arr), batch_size):
+            chunk = series_arr[start : start + batch_size]
+            chunk_mask = None if mask_arr is None else mask_arr[start : start + batch_size]
+            pieces.append(fn(chunk, chunk_mask))
+        return np.concatenate(pieces, axis=0)
+
+    def predict_logits(
+        self, series, mask: np.ndarray | None = None, batch_size: int | None = None
+    ) -> np.ndarray:
         """Class logits on the inference fast path.
 
         Runs in eval mode (dropout off) under ``no_grad``, so no autograd
         graph is built and the kernel layer skips backward caches
         (layer-norm statistics, relu masks); prediction allocates only
         forward activations.  Training mode is restored afterwards.
+        ``batch_size`` bounds peak memory by serving the request in
+        chunks; ``mask`` is the ``(B, L)`` validity mask of a padded
+        ragged batch.
         """
         with self._inference():
-            return self.classify(series).data
+            return self._serve_chunked(
+                lambda x, m: self.classify(x, mask=m).data, series, mask, batch_size
+            )
 
-    def predict(self, series) -> np.ndarray:
+    def predict(
+        self, series, mask: np.ndarray | None = None, batch_size: int | None = None
+    ) -> np.ndarray:
         """Predicted class ids ``(B,)`` via :meth:`predict_logits`."""
-        return self.predict_logits(series).argmax(axis=-1)
+        return self.predict_logits(series, mask=mask, batch_size=batch_size).argmax(axis=-1)
 
-    def predict_series(self, series) -> np.ndarray:
+    def predict_series(
+        self, series, mask: np.ndarray | None = None, batch_size: int | None = None
+    ) -> np.ndarray:
         """Reconstructed series on the inference fast path (imputation/forecasting)."""
         with self._inference():
-            return self.reconstruct(series).data
+            return self._serve_chunked(
+                lambda x, m: self.reconstruct(x, mask=m).data, series, mask, batch_size
+            )
 
-    def embed(self, series) -> np.ndarray:
-        """Series-level embedding as a NumPy array (A.7.4; no grad)."""
+    def embed(
+        self,
+        series,
+        mask: np.ndarray | None = None,
+        batch_size: int | None = None,
+        pooling: str = "cls",
+    ) -> np.ndarray:
+        """Series-level embedding as a NumPy array (A.7.4; no grad).
+
+        ``pooling``: ``"cls"`` returns the [CLS] representation (the
+        paper's choice); ``"mean"`` mean-pools the window embeddings —
+        masked mean pooling on ragged batches, so padded windows never
+        enter the average.
+        """
+        if pooling not in {"cls", "mean"}:
+            raise ConfigError(f"unknown pooling {pooling!r}; expected 'cls' or 'mean'")
+
+        def one_chunk(x, m):
+            cls_embedding, windows = self.encode(x, mask=m)
+            if pooling == "cls":
+                return cls_embedding.data
+            wmask = None if m is None else self.window_mask(m)
+            return self.pool_windows(windows, wmask).data
+
         with self._inference():
-            cls_embedding, _ = self.encode(series)
-        return cls_embedding.data
+            return self._serve_chunked(one_chunk, series, mask, batch_size)
 
     # ------------------------------------------------------------------
     # Introspection used by scheduler / memory accounting

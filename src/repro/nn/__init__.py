@@ -12,7 +12,7 @@ from repro.nn.embedding import (
     SinusoidalPositionalEncoding,
     sinusoidal_table,
 )
-from repro.nn.loss import CrossEntropyLoss, L1Loss, MaskedMSELoss, MSELoss
+from repro.nn.loss import CrossEntropyLoss, L1Loss, MaskedL1Loss, MaskedMSELoss, MSELoss
 from repro.nn import init
 
 __all__ = [
@@ -36,6 +36,7 @@ __all__ = [
     "sinusoidal_table",
     "CrossEntropyLoss",
     "L1Loss",
+    "MaskedL1Loss",
     "MaskedMSELoss",
     "MSELoss",
     "init",

@@ -19,7 +19,7 @@ from repro.errors import ShapeError
 from repro.kernels import functional as kernels
 from repro.nn.module import Module
 
-__all__ = ["CrossEntropyLoss", "MSELoss", "MaskedMSELoss", "L1Loss"]
+__all__ = ["CrossEntropyLoss", "MSELoss", "MaskedMSELoss", "L1Loss", "MaskedL1Loss"]
 
 
 class CrossEntropyLoss(Module):
@@ -49,7 +49,9 @@ class MaskedMSELoss(Module):
     """Mean squared error restricted to positions where ``mask`` is true.
 
     This is the imputation objective of paper Sec. A.7.2; the mask marks
-    the artificially removed values.
+    the artificially removed values.  On ragged batches, AND the task
+    mask with the padding validity mask so padded positions never enter
+    the mean (the tasks in :mod:`repro.tasks` do this automatically).
     """
 
     def forward(self, prediction: Tensor, target, mask) -> Tensor:
@@ -61,3 +63,14 @@ class L1Loss(Module):
 
     def forward(self, prediction: Tensor, target) -> Tensor:
         return kernels.l1(prediction, target)
+
+
+class MaskedL1Loss(Module):
+    """Mean absolute error restricted to positions where ``mask`` is true.
+
+    The padding-aware sibling of :class:`L1Loss` for variable-length
+    batches: pass the validity mask (optionally ANDed with a task mask).
+    """
+
+    def forward(self, prediction: Tensor, target, mask) -> Tensor:
+        return kernels.masked_l1(prediction, target, mask)

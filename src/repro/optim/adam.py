@@ -11,6 +11,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.nn.module import Parameter
 from repro.optim.optimizer import Optimizer
 
@@ -39,6 +40,30 @@ class Adam(Optimizer):
         self.weight_decay = float(weight_decay)
         self._m: dict[int, np.ndarray] = {}
         self._v: dict[int, np.ndarray] = {}
+
+    def _param_state(self, param: Parameter) -> dict[str, np.ndarray]:
+        state = {}
+        m = self._m.get(id(param))
+        v = self._v.get(id(param))
+        if m is not None:
+            state["m"] = m
+        if v is not None:
+            state["v"] = v
+        return state
+
+    def _load_param_state(self, param: Parameter, arrays: dict[str, np.ndarray]) -> None:
+        unknown = set(arrays) - {"m", "v"}
+        if unknown:
+            raise ConfigError(
+                f"Adam cannot load optimizer state keys {sorted(unknown)}; "
+                "the checkpoint was saved by a different optimizer type"
+            )
+        self._m.pop(id(param), None)
+        self._v.pop(id(param), None)
+        if "m" in arrays:
+            self._m[id(param)] = arrays["m"]
+        if "v" in arrays:
+            self._v[id(param)] = arrays["v"]
 
     def _update(self, param: Parameter, grad: np.ndarray, decoupled: bool) -> None:
         beta1, beta2 = self.betas

@@ -10,12 +10,20 @@ __all__ = ["LRScheduler", "StepLR", "CosineAnnealingLR", "LinearWarmup"]
 
 
 class LRScheduler:
-    """Base: mutates ``optimizer.lr`` on every :meth:`step` call."""
+    """Base: mutates ``optimizer.lr`` on every :meth:`step` call.
+
+    The schedule is applied immediately at construction (``get_lr(0)``),
+    so epoch 0 already trains at the scheduled rate — without this,
+    ``LinearWarmup`` used to leave the whole first epoch at the full base
+    LR, defeating the warmup.  Subclasses must therefore set their own
+    hyper-parameters *before* calling ``super().__init__``.
+    """
 
     def __init__(self, optimizer: Optimizer) -> None:
         self.optimizer = optimizer
         self.base_lr = optimizer.lr
         self.epoch = 0
+        self.optimizer.lr = self.get_lr(0)
 
     def step(self) -> None:
         self.epoch += 1
@@ -24,14 +32,24 @@ class LRScheduler:
     def get_lr(self, epoch: int) -> float:
         raise NotImplementedError
 
+    def state_dict(self) -> dict:
+        """JSON-compatible state for checkpointing (see ``save_checkpoint``)."""
+        return {"epoch": self.epoch, "base_lr": self.base_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output and re-apply the schedule."""
+        self.epoch = int(state["epoch"])
+        self.base_lr = float(state["base_lr"])
+        self.optimizer.lr = self.get_lr(self.epoch)
+
 
 class StepLR(LRScheduler):
     """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
 
     def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.1) -> None:
-        super().__init__(optimizer)
         self.step_size = int(step_size)
         self.gamma = float(gamma)
+        super().__init__(optimizer)
 
     def get_lr(self, epoch: int) -> float:
         return self.base_lr * self.gamma ** (epoch // self.step_size)
@@ -41,9 +59,9 @@ class CosineAnnealingLR(LRScheduler):
     """Cosine decay from the base LR to ``min_lr`` over ``t_max`` epochs."""
 
     def __init__(self, optimizer: Optimizer, t_max: int, min_lr: float = 0.0) -> None:
-        super().__init__(optimizer)
         self.t_max = int(t_max)
         self.min_lr = float(min_lr)
+        super().__init__(optimizer)
 
     def get_lr(self, epoch: int) -> float:
         progress = min(epoch, self.t_max) / self.t_max
@@ -51,11 +69,18 @@ class CosineAnnealingLR(LRScheduler):
 
 
 class LinearWarmup(LRScheduler):
-    """Linear ramp from 0 to the base LR over ``warmup_epochs`` epochs."""
+    """Linear ramp from 0 to the base LR over ``warmup_epochs`` epochs.
+
+    Applied at construction: epoch ``e`` trains at ``base_lr * e / W``,
+    reaching the base LR at epoch ``W`` and staying there.  Epoch 0
+    therefore trains at LR exactly 0 — the same ``step / W`` convention
+    as the usual step-based linear warmup schedules — so with very small
+    ``warmup_epochs`` the first epoch only accumulates optimizer moments.
+    """
 
     def __init__(self, optimizer: Optimizer, warmup_epochs: int) -> None:
-        super().__init__(optimizer)
         self.warmup_epochs = max(int(warmup_epochs), 1)
+        super().__init__(optimizer)
 
     def get_lr(self, epoch: int) -> float:
         if epoch >= self.warmup_epochs:

@@ -6,6 +6,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.nn.module import Parameter
 
 __all__ = ["Optimizer"]
@@ -15,7 +16,11 @@ class Optimizer:
     """Base class: holds the parameter list and the learning rate.
 
     Subclasses implement :meth:`step`, reading ``param.grad`` and updating
-    ``param.data`` in place.
+    ``param.data`` in place.  They also expose their accumulator state
+    (Adam moments, SGD velocities) through :meth:`_param_state` /
+    :meth:`_load_param_state` so :meth:`state_dict` can round-trip it —
+    resuming from a checkpoint must continue the *same* trajectory, not
+    restart the moments from zero.
     """
 
     def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
@@ -24,6 +29,50 @@ class Optimizer:
             raise ValueError("optimizer received no parameters")
         self.lr = float(lr)
         self._step_count = 0
+
+    # -- state (checkpoint resume) --------------------------------------
+    def _param_state(self, param: Parameter) -> dict[str, np.ndarray]:
+        """Per-parameter accumulator arrays (empty for stateless updates)."""
+        return {}
+
+    def _load_param_state(self, param: Parameter, arrays: dict[str, np.ndarray]) -> None:
+        if arrays:
+            raise ConfigError(
+                f"{type(self).__name__} has no per-parameter state; got {sorted(arrays)}"
+            )
+
+    def state_dict(self) -> dict:
+        """Complete optimizer state: scalars plus per-parameter arrays.
+
+        Parameters are keyed by their position in the (stable) parameter
+        list, so loading requires an optimizer built over the same model.
+        """
+        per_param = {}
+        for i, p in enumerate(self.parameters):
+            arrays = self._param_state(p)
+            if arrays:
+                per_param[str(i)] = {k: v.copy() for k, v in arrays.items()}
+        return {"lr": self.lr, "step_count": self._step_count, "state": per_param}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output onto this optimizer's parameters."""
+        self.lr = float(state["lr"])
+        self._step_count = int(state["step_count"])
+        per_param = state.get("state", {})
+        unknown = set(per_param) - {str(i) for i in range(len(self.parameters))}
+        if unknown:
+            raise ConfigError(
+                f"optimizer state refers to unknown parameter indices {sorted(unknown)}"
+            )
+        for i, param in enumerate(self.parameters):
+            arrays = per_param.get(str(i), {})
+            for name, value in arrays.items():
+                if value.shape != param.shape:
+                    raise ConfigError(
+                        f"optimizer state {name!r} for parameter {i} has shape "
+                        f"{value.shape} != parameter shape {param.shape}"
+                    )
+            self._load_param_state(param, {k: v.copy() for k, v in arrays.items()})
 
     def zero_grad(self) -> None:
         """Clear gradients on every managed parameter."""

@@ -6,6 +6,7 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.errors import ConfigError
 from repro.nn.module import Parameter
 from repro.optim.optimizer import Optimizer
 
@@ -26,6 +27,21 @@ class SGD(Optimizer):
         self.momentum = float(momentum)
         self.weight_decay = float(weight_decay)
         self._velocity: dict[int, np.ndarray] = {}
+
+    def _param_state(self, param: Parameter) -> dict[str, np.ndarray]:
+        velocity = self._velocity.get(id(param))
+        return {} if velocity is None else {"velocity": velocity}
+
+    def _load_param_state(self, param: Parameter, arrays: dict[str, np.ndarray]) -> None:
+        unknown = set(arrays) - {"velocity"}
+        if unknown:
+            raise ConfigError(
+                f"SGD cannot load optimizer state keys {sorted(unknown)}; "
+                "the checkpoint was saved by a different optimizer type"
+            )
+        self._velocity.pop(id(param), None)
+        if "velocity" in arrays:
+            self._velocity[id(param)] = arrays["velocity"]
 
     def step(self) -> None:
         self._step_count += 1

@@ -11,6 +11,7 @@ from typing import Mapping
 import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
+from repro.errors import ConfigError
 from repro.nn import CrossEntropyLoss
 
 __all__ = ["ClassificationTask"]
@@ -24,13 +25,28 @@ class ClassificationTask:
     def __init__(self) -> None:
         self._loss = CrossEntropyLoss()
 
+    @staticmethod
+    def _classify(model, batch: Mapping[str, np.ndarray]) -> Tensor:
+        # Ragged batches carry a validity mask; mask-aware models declare
+        # supports_padding_mask (RitaModel).  Mask-unaware baselines get a
+        # clear error on ragged data instead of a TypeError; dense batches
+        # (no mask key) keep the original call for every model.
+        if batch.get("mask") is not None:
+            if not getattr(model, "supports_padding_mask", False):
+                raise ConfigError(
+                    f"{type(model).__name__} does not support padding masks; "
+                    "train it on fixed-length batches (no pad_collate mask)"
+                )
+            return model.classify(Tensor(batch["x"]), mask=batch["mask"])
+        return model.classify(Tensor(batch["x"]))
+
     def loss(self, model, batch: Mapping[str, np.ndarray]) -> Tensor:
-        logits = model.classify(Tensor(batch["x"]))
+        logits = self._classify(model, batch)
         return self._loss(logits, batch["y"])
 
     def evaluate(self, model, batch: Mapping[str, np.ndarray]) -> dict[str, float]:
         with no_grad():
-            logits = model.classify(Tensor(batch["x"]))
+            logits = self._classify(model, batch)
             loss = self._loss(logits, batch["y"])
         predictions = logits.data.argmax(axis=-1)
         correct = float((predictions == batch["y"]).sum())

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
 from repro.data.masking import Scaler, mask_tail
+from repro.errors import ShapeError
 from repro.nn import MaskedMSELoss
 from repro.tasks.imputation import ImputationTask
 
@@ -27,18 +28,35 @@ class ForecastingTask:
 
     def _prepare(self, batch: Mapping[str, np.ndarray]):
         scaled = self.scaler.transform(batch["x"])
-        masked, mask = mask_tail(scaled, self.horizon, mask_value=self.mask_value)
+        valid = batch.get("mask")
+        if valid is None:
+            masked, mask = mask_tail(scaled, self.horizon, mask_value=self.mask_value)
+            return scaled, masked, mask
+        # Ragged batch: each sequence's tail is the last `horizon` *valid*
+        # timesteps (the padded region is not a forecast target).
+        valid = np.asarray(valid, dtype=bool)
+        lengths = valid.sum(axis=1)
+        if (lengths <= self.horizon).any():
+            raise ShapeError(
+                f"horizon {self.horizon} leaves no context for the shortest "
+                f"sequence (length {int(lengths.min())})"
+            )
+        positions = np.arange(scaled.shape[1])[None, :]
+        tail = (positions >= (lengths - self.horizon)[:, None]) & valid
+        mask = np.repeat(tail[:, :, None], scaled.shape[2], axis=2)
+        masked = scaled.copy()
+        masked[mask] = self.mask_value
         return scaled, masked, mask
 
     def loss(self, model, batch: Mapping[str, np.ndarray]) -> Tensor:
         scaled, masked, mask = self._prepare(batch)
-        prediction = model.reconstruct(Tensor(masked))
+        prediction = ImputationTask._reconstruct(model, masked, batch)
         return self._loss(prediction, scaled, mask)
 
     def evaluate(self, model, batch: Mapping[str, np.ndarray]) -> dict[str, float]:
         scaled, masked, mask = self._prepare(batch)
         with no_grad():
-            prediction = model.reconstruct(Tensor(masked))
+            prediction = ImputationTask._reconstruct(model, masked, batch)
         error = (prediction.data - scaled)[mask]
         return {
             "sq_sum": float((error ** 2).sum()),

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
 from repro.data.masking import Scaler, apply_timestamp_mask
+from repro.errors import ConfigError
 from repro.nn import MaskedMSELoss
 from repro.rng import get_rng
 
@@ -41,20 +42,49 @@ class ImputationTask:
 
     def _prepare(self, batch: Mapping[str, np.ndarray]):
         scaled = self.scaler.transform(batch["x"])
-        masked, mask = apply_timestamp_mask(
-            scaled, self.mask_rate, rng=self._rng, mask_value=self.mask_value
-        )
+        valid = batch.get("mask")
+        if valid is None:
+            masked, mask = apply_timestamp_mask(
+                scaled, self.mask_rate, rng=self._rng, mask_value=self.mask_value
+            )
+            return scaled, masked, mask
+        # Ragged batch: the cloze mask must target valid timesteps only —
+        # padded positions are neither corrupted nor scored.  Build the
+        # mask directly (one masked copy, not apply_timestamp_mask's copy
+        # plus a corrected redo).
+        batch_size, length, channels = scaled.shape
+        timestamps = self._rng.random((batch_size, length)) < self.mask_rate
+        timestamps &= np.asarray(valid, dtype=bool)
+        # Guarantee >= 1 masked timestep per sample; position 0 is always
+        # valid under left-aligned padding.
+        timestamps[~timestamps.any(axis=1), 0] = True
+        mask = np.repeat(timestamps[:, :, None], channels, axis=2)
+        masked = scaled.copy()
+        masked[mask] = self.mask_value
         return scaled, masked, mask
+
+    @staticmethod
+    def _reconstruct(model, masked: np.ndarray, batch: Mapping[str, np.ndarray]) -> Tensor:
+        # Mask-aware models declare supports_padding_mask (RitaModel);
+        # mask-unaware baselines get a clear error on ragged batches.
+        if batch.get("mask") is not None:
+            if not getattr(model, "supports_padding_mask", False):
+                raise ConfigError(
+                    f"{type(model).__name__} does not support padding masks; "
+                    "train it on fixed-length batches (no pad_collate mask)"
+                )
+            return model.reconstruct(Tensor(masked), mask=batch["mask"])
+        return model.reconstruct(Tensor(masked))
 
     def loss(self, model, batch: Mapping[str, np.ndarray]) -> Tensor:
         scaled, masked, mask = self._prepare(batch)
-        reconstruction = model.reconstruct(Tensor(masked))
+        reconstruction = self._reconstruct(model, masked, batch)
         return self._loss(reconstruction, scaled, mask)
 
     def evaluate(self, model, batch: Mapping[str, np.ndarray]) -> dict[str, float]:
         scaled, masked, mask = self._prepare(batch)
         with no_grad():
-            reconstruction = model.reconstruct(Tensor(masked))
+            reconstruction = self._reconstruct(model, masked, batch)
         error = reconstruction.data - scaled
         masked_error = error[mask]
         return {

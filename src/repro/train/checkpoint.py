@@ -1,8 +1,16 @@
-"""Model checkpointing.
+"""Model + training-state checkpointing.
 
 Serializes a module's ``state_dict`` (plus arbitrary JSON-compatible
 metadata) to a single ``.npz`` file.  Used to hand pretrained encoders to
 finetuning runs and to resume interrupted training.
+
+Resuming *correctly* needs more than weights: Adam's first/second moments,
+its bias-correction step count, and the scheduler epoch all shape the next
+update.  Pass ``optimizer=`` / ``scheduler=`` to both
+:func:`save_checkpoint` and :func:`load_checkpoint` and a resumed run
+reproduces the uninterrupted run exactly (tested in
+``tests/train/test_resume.py``); omitting them restores weights only, as
+before.
 """
 
 from __future__ import annotations
@@ -18,10 +26,25 @@ from repro.nn.module import Module
 __all__ = ["save_checkpoint", "load_checkpoint"]
 
 _METADATA_KEY = "__checkpoint_metadata__"
+#: JSON blob holding optimizer scalars and the scheduler state.
+_TRAIN_STATE_KEY = "__train_state__"
+#: Prefix for optimizer accumulator arrays: ``__optim__/<param_idx>/<name>``.
+_OPTIM_PREFIX = "__optim__/"
+_RESERVED = (_METADATA_KEY, _TRAIN_STATE_KEY, _OPTIM_PREFIX)
 
 
-def save_checkpoint(model: Module, path, metadata: dict | None = None) -> None:
-    """Write the model's parameters (and optional metadata) to ``path``.
+def _encode_json(payload: dict) -> np.ndarray:
+    return np.frombuffer(json.dumps(payload).encode("utf-8"), dtype=np.uint8)
+
+
+def save_checkpoint(
+    model: Module,
+    path,
+    metadata: dict | None = None,
+    optimizer=None,
+    scheduler=None,
+) -> None:
+    """Write the model's parameters (and optional training state) to ``path``.
 
     Parameters
     ----------
@@ -32,32 +55,78 @@ def save_checkpoint(model: Module, path, metadata: dict | None = None) -> None:
     metadata:
         JSON-serializable dict stored alongside the weights (e.g. epoch,
         config fields, metrics).
+    optimizer:
+        Optional :class:`~repro.optim.Optimizer`; its full state (lr,
+        step count, per-parameter moments) is persisted so a resumed run
+        continues the same trajectory instead of silently resetting Adam.
+    scheduler:
+        Optional :class:`~repro.optim.lr_scheduler.LRScheduler`; persists
+        the schedule epoch so resumed warmup/decay picks up where it left
+        off.
     """
     path = pathlib.Path(path)
     state = model.state_dict()
-    if _METADATA_KEY in state:
-        raise ConfigError(f"parameter name {_METADATA_KEY!r} collides with metadata slot")
+    for name in state:
+        if name.startswith(_RESERVED):
+            raise ConfigError(f"parameter name {name!r} collides with a reserved key")
     payload = dict(state)
-    payload[_METADATA_KEY] = np.frombuffer(
-        json.dumps(metadata or {}).encode("utf-8"), dtype=np.uint8
-    )
+    payload[_METADATA_KEY] = _encode_json(metadata or {})
+    train_state: dict = {}
+    if optimizer is not None:
+        optim_state = optimizer.state_dict()
+        for index, arrays in optim_state.pop("state").items():
+            for name, value in arrays.items():
+                payload[f"{_OPTIM_PREFIX}{index}/{name}"] = value
+        train_state["optimizer"] = optim_state  # scalars only
+    if scheduler is not None:
+        train_state["scheduler"] = scheduler.state_dict()
+    if train_state:
+        payload[_TRAIN_STATE_KEY] = _encode_json(train_state)
     np.savez(path, **payload)
 
 
-def load_checkpoint(model: Module, path) -> dict:
+def load_checkpoint(model: Module, path, optimizer=None, scheduler=None) -> dict:
     """Load parameters saved by :func:`save_checkpoint`; returns metadata.
 
     The model architecture must match (same parameter names and shapes);
     mismatches raise :class:`~repro.errors.ConfigError` via
-    ``load_state_dict``.
+    ``load_state_dict``.  Pass ``optimizer=`` / ``scheduler=`` to also
+    restore training state; asking for state a checkpoint does not carry
+    raises :class:`~repro.errors.ConfigError` (resuming would silently
+    reset the trajectory otherwise).
     """
     path = pathlib.Path(path)
     if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
         path = path.with_suffix(path.suffix + ".npz")
     with np.load(path) as archive:
         metadata_bytes = archive[_METADATA_KEY].tobytes() if _METADATA_KEY in archive else b"{}"
-        state = {
-            key: archive[key] for key in archive.files if key != _METADATA_KEY
-        }
+        train_bytes = (
+            archive[_TRAIN_STATE_KEY].tobytes() if _TRAIN_STATE_KEY in archive else b"{}"
+        )
+        optim_arrays: dict[str, dict[str, np.ndarray]] = {}
+        state = {}
+        for key in archive.files:
+            if key in (_METADATA_KEY, _TRAIN_STATE_KEY):
+                continue
+            if key.startswith(_OPTIM_PREFIX):
+                index, name = key[len(_OPTIM_PREFIX):].split("/", 1)
+                optim_arrays.setdefault(index, {})[name] = archive[key]
+                continue
+            state[key] = archive[key]
     model.load_state_dict(state)
+    train_state = json.loads(train_bytes.decode("utf-8"))
+    if optimizer is not None:
+        if "optimizer" not in train_state:
+            raise ConfigError(
+                "checkpoint carries no optimizer state; save with "
+                "save_checkpoint(..., optimizer=...) to resume training"
+            )
+        optimizer.load_state_dict({**train_state["optimizer"], "state": optim_arrays})
+    if scheduler is not None:
+        if "scheduler" not in train_state:
+            raise ConfigError(
+                "checkpoint carries no scheduler state; save with "
+                "save_checkpoint(..., scheduler=...) to resume training"
+            )
+        scheduler.load_state_dict(train_state["scheduler"])
     return json.loads(metadata_bytes.decode("utf-8"))

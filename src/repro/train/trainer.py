@@ -98,17 +98,20 @@ def _grouping_totals(model) -> tuple[float, int]:
     return seconds, reclusters
 
 
-def evaluate_task(model, task, dataset: ArrayDataset, batch_size: int = 64) -> dict[str, float]:
+def evaluate_task(
+    model, task, dataset: ArrayDataset, batch_size: int = 64, collate_fn=None
+) -> dict[str, float]:
     """Run ``task.evaluate`` over a dataset and summarize (eval mode).
 
     Runs under ``no_grad`` so evaluation takes the inference fast path —
     no autograd graph, no backward caches — regardless of whether the
-    task's ``evaluate`` disables gradients itself.
+    task's ``evaluate`` disables gradients itself.  Pass
+    ``collate_fn=repro.data.pad_collate`` for ragged datasets.
     """
     was_training = model.training
     model.eval()
     totals: dict[str, float] = {}
-    loader = DataLoader(dataset, batch_size=batch_size)
+    loader = DataLoader(dataset, batch_size=batch_size, collate_fn=collate_fn)
     with no_grad():
         for batch in loader:
             for key, value in task.evaluate(model, batch).items():
@@ -207,13 +210,24 @@ class Trainer:
         rng: np.random.Generator | None = None,
         verbose: bool = False,
         early_stopping=None,
+        collate_fn=None,
+        bucket_by_length: bool = False,
     ) -> History:
         """Train for up to ``epochs`` epochs, recording the paper's measurements.
 
         ``early_stopping``: optional :class:`~repro.train.EarlyStopping`;
         consulted after every validation pass (requires ``val_dataset``).
+
+        ``collate_fn`` / ``bucket_by_length`` configure the internal
+        loader for ragged datasets — pass
+        :func:`repro.data.pad_collate` with a
+        :class:`~repro.data.RaggedDataset` to train on variable-length
+        series with length-bucketed batches.
         """
-        loader = DataLoader(train_dataset, batch_size=batch_size, shuffle=shuffle, rng=rng)
+        loader = DataLoader(
+            train_dataset, batch_size=batch_size, shuffle=shuffle, rng=rng,
+            collate_fn=collate_fn, bucket_by_length=bucket_by_length,
+        )
         history = History()
         for epoch in range(1, epochs + 1):
             mean_loss, seconds, grouping, reclusters = self.train_epoch(loader)
@@ -227,7 +241,9 @@ class Trainer:
                 reclusters=reclusters,
             )
             if val_dataset is not None:
-                stats.val_metrics = evaluate_task(self.model, self.task, val_dataset)
+                stats.val_metrics = evaluate_task(
+                    self.model, self.task, val_dataset, collate_fn=collate_fn
+                )
             history.append(stats)
             if verbose:
                 print(

@@ -1,0 +1,201 @@
+"""Ragged collation: pad/unpad round trips, RaggedDataset, length bucketing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import DataLoader, RaggedDataset, pad_collate, pad_ragged, unpad
+from repro.errors import ConfigError, ShapeError
+
+
+def ragged_series(rng, lengths, channels=3):
+    return [rng.standard_normal((length, channels)) for length in lengths]
+
+
+class TestPadRagged:
+    def test_round_trip(self, rng):
+        series = ragged_series(rng, [5, 9, 2])
+        padded, mask = pad_ragged(series)
+        assert padded.shape == (3, 9, 3)
+        assert mask.shape == (3, 9)
+        np.testing.assert_array_equal(mask.sum(axis=1), [5, 9, 2])
+        recovered = unpad(padded, mask)
+        for original, back in zip(series, recovered):
+            np.testing.assert_array_equal(original, back)
+
+    def test_left_aligned_zero_padding(self, rng):
+        series = ragged_series(rng, [2, 4])
+        padded, mask = pad_ragged(series)
+        np.testing.assert_array_equal(padded[0, 2:], 0.0)
+        assert mask[0].tolist() == [True, True, False, False]
+
+    def test_forced_common_length(self, rng):
+        padded, mask = pad_ragged(ragged_series(rng, [3, 5]), length=8)
+        assert padded.shape[1] == 8
+        with pytest.raises(ShapeError):
+            pad_ragged(ragged_series(rng, [3, 5]), length=4)
+
+    def test_rejects_bad_inputs(self, rng):
+        with pytest.raises(ShapeError):
+            pad_ragged([])
+        with pytest.raises(ShapeError):
+            pad_ragged([rng.standard_normal((4,))])
+        with pytest.raises(ShapeError):
+            pad_ragged([rng.standard_normal((4, 2)), rng.standard_normal((4, 3))])
+        with pytest.raises(ShapeError):
+            pad_ragged([rng.standard_normal((0, 2))])
+
+    def test_custom_pad_value(self, rng):
+        padded, _ = pad_ragged(ragged_series(rng, [1, 3]), pad_value=-1.0)
+        np.testing.assert_array_equal(padded[0, 1:], -1.0)
+
+
+class TestPadCollate:
+    def test_ragged_batch(self, rng):
+        batch = {"x": ragged_series(rng, [4, 7]), "y": np.array([0, 1])}
+        out = pad_collate(batch)
+        assert out["x"].shape == (2, 7, 3)
+        assert out["mask"].shape == (2, 7)
+        np.testing.assert_array_equal(out["y"], [0, 1])
+
+    def test_dense_passthrough_emits_no_mask(self, rng):
+        """Fixed-length batches stay on the unmasked hot path — and on
+        mask-unaware baseline models (their classify takes no mask)."""
+        x = rng.standard_normal((4, 6, 2))
+        out = pad_collate({"x": x, "y": np.arange(4)})
+        np.testing.assert_array_equal(out["x"], x)
+        assert "mask" not in out
+
+
+class TestRaggedDataset:
+    def test_indexing_and_lengths(self, rng):
+        series = ragged_series(rng, [3, 6, 4, 5])
+        ds = RaggedDataset(series, y=np.array([0, 1, 0, 1]))
+        assert len(ds) == 4
+        np.testing.assert_array_equal(ds.lengths, [3, 6, 4, 5])
+        batch = ds[np.array([2, 0])]
+        assert [s.shape[0] for s in batch["x"]] == [4, 3]
+        np.testing.assert_array_equal(batch["y"], [0, 0])
+        single = ds[1]
+        assert single["x"].shape == (6, 3) and single["y"] == 1
+
+    def test_subset(self, rng):
+        ds = RaggedDataset(ragged_series(rng, [3, 6, 4]), y=np.arange(3))
+        sub = ds.subset(np.array([2, 1]))
+        np.testing.assert_array_equal(sub.lengths, [4, 6])
+        np.testing.assert_array_equal(sub.arrays["y"], [2, 1])
+
+    def test_misaligned_arrays_raise(self, rng):
+        with pytest.raises(ShapeError):
+            RaggedDataset(ragged_series(rng, [3, 4]), y=np.arange(3))
+
+
+class TestLengthBucketing:
+    def make_loader(self, rng, shuffle=True, batch_size=4, drop_last=False):
+        lengths = rng.integers(3, 40, size=21).tolist()
+        ds = RaggedDataset(ragged_series(rng, lengths), y=np.arange(21))
+        loader = DataLoader(
+            ds, batch_size=batch_size, shuffle=shuffle, drop_last=drop_last,
+            rng=rng, collate_fn=pad_collate, bucket_by_length=True,
+        )
+        return ds, loader
+
+    def test_batches_group_similar_lengths(self, rng):
+        """Batches are contiguous runs of the length-sorted order: sorting
+        the batches by (min, max) and concatenating their sorted lengths
+        reproduces the globally sorted length sequence exactly."""
+        ds, loader = self.make_loader(rng)
+        per_batch = [np.sort(batch["mask"].sum(axis=1)) for batch in loader]
+        per_batch.sort(key=lambda lengths: (lengths[0], lengths[-1]))
+        np.testing.assert_array_equal(np.concatenate(per_batch), np.sort(ds.lengths))
+
+    def test_every_sample_appears_once(self, rng):
+        _, loader = self.make_loader(rng)
+        seen = np.concatenate([batch["y"] for batch in loader])
+        assert sorted(seen.tolist()) == list(range(21))
+
+    def test_drop_last_drops_only_the_short_batch(self, rng):
+        _, loader = self.make_loader(rng, drop_last=True)
+        batches = list(loader)
+        assert all(len(b["y"]) == 4 for b in batches)
+        assert sum(len(b["y"]) for b in batches) == 20
+
+    def test_unshuffled_bucketing_is_deterministic(self, rng):
+        ds, loader = self.make_loader(rng, shuffle=False)
+        first = [batch["y"].tolist() for batch in loader]
+        second = [batch["y"].tolist() for batch in loader]
+        assert first == second
+
+    def test_padding_waste_lower_than_unbucketed(self, rng):
+        lengths = (rng.integers(3, 100, size=64)).tolist()
+        ds = RaggedDataset(ragged_series(rng, lengths), y=np.arange(64))
+
+        def waste(loader):
+            padded = valid = 0
+            for batch in loader:
+                padded += batch["mask"].size
+                valid += int(batch["mask"].sum())
+            return padded - valid
+
+        bucketed = DataLoader(ds, batch_size=8, shuffle=True, rng=np.random.default_rng(0),
+                              collate_fn=pad_collate, bucket_by_length=True)
+        plain = DataLoader(ds, batch_size=8, shuffle=True, rng=np.random.default_rng(0),
+                           collate_fn=pad_collate)
+        assert waste(bucketed) < waste(plain)
+
+    def test_bucketing_requires_lengths(self, rng):
+        from repro.data import ArrayDataset
+        ds = ArrayDataset(x=rng.standard_normal((8, 5, 2)))
+        with pytest.raises(ConfigError):
+            DataLoader(ds, batch_size=4, bucket_by_length=True)
+
+    def test_collate_without_bucketing(self, rng):
+        ds = RaggedDataset(ragged_series(rng, [4, 6, 5]), y=np.arange(3))
+        loader = DataLoader(ds, batch_size=2, collate_fn=pad_collate)
+        batches = list(loader)
+        assert batches[0]["x"].shape == (2, 6, 3)
+        assert batches[1]["x"].shape == (1, 5, 3)
+
+
+class TestRaggedWindows:
+    def test_keeps_tail(self, rng):
+        from repro.data import ragged_windows
+
+        recording = rng.standard_normal((10, 2))
+        pieces = ragged_windows(recording, window=4)
+        assert [p.shape[0] for p in pieces] == [4, 4, 2]
+        np.testing.assert_array_equal(np.concatenate(pieces), recording)
+
+    def test_no_tail_when_even(self, rng):
+        from repro.data import ragged_windows, sliding_windows
+
+        recording = rng.standard_normal((12, 3))
+        pieces = ragged_windows(recording, window=4)
+        assert [p.shape[0] for p in pieces] == [4, 4, 4]
+        np.testing.assert_array_equal(np.stack(pieces), sliding_windows(recording, 4))
+
+    def test_short_recording_is_one_piece(self, rng):
+        from repro.data import ragged_windows
+
+        recording = rng.standard_normal((3, 1))
+        pieces = ragged_windows(recording, window=8)
+        assert len(pieces) == 1 and pieces[0].shape == (3, 1)
+
+    def test_overlapping_step(self, rng):
+        from repro.data import ragged_windows
+
+        recording = rng.standard_normal((10, 1))
+        pieces = ragged_windows(recording, window=4, step=2)
+        assert [p.shape[0] for p in pieces] == [4, 4, 4, 4, 2]
+
+    def test_invalid_inputs(self, rng):
+        from repro.data import ragged_windows
+        from repro.errors import ShapeError
+
+        with pytest.raises(ShapeError):
+            ragged_windows(rng.standard_normal(5), window=2)
+        with pytest.raises(ShapeError):
+            ragged_windows(rng.standard_normal((5, 1)), window=0)
+        with pytest.raises(ShapeError):
+            ragged_windows(rng.standard_normal((5, 1)), window=2, step=0)

@@ -50,3 +50,56 @@ class TestWarmup:
         assert sched.get_lr(2) == pytest.approx(1.0)
         assert sched.get_lr(4) == pytest.approx(2.0)
         assert sched.get_lr(10) == pytest.approx(2.0)
+
+    def test_first_epoch_starts_at_zero_not_base_lr(self):
+        """Regression: construction must apply get_lr(0) immediately.
+
+        The scheduler used to leave ``optimizer.lr`` at the full base LR
+        until the first ``step()`` — i.e. the entire first epoch trained
+        unwarmed, defeating the point of warmup.
+        """
+        opt = make_opt(2.0)
+        LinearWarmup(opt, warmup_epochs=4)
+        assert opt.lr == pytest.approx(0.0)
+
+    def test_per_epoch_lr_trace(self):
+        """The LR actually *seen* by each training epoch, start to finish."""
+        opt = make_opt(1.0)
+        sched = LinearWarmup(opt, warmup_epochs=4)
+        trace = []
+        for _ in range(7):
+            trace.append(opt.lr)  # LR used during this epoch
+            sched.step()
+        assert trace == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0, 1.0, 1.0])
+
+    def test_base_lr_preserved_for_later_epochs(self):
+        opt = make_opt(3.0)
+        sched = LinearWarmup(opt, warmup_epochs=2)
+        assert sched.base_lr == pytest.approx(3.0)
+        sched.step()
+        sched.step()
+        assert opt.lr == pytest.approx(3.0)
+
+
+class TestConstructionAppliesSchedule:
+    def test_step_lr_unchanged_at_epoch_zero(self):
+        opt = make_opt(1.0)
+        StepLR(opt, step_size=2, gamma=0.1)
+        assert opt.lr == pytest.approx(1.0)
+
+    def test_cosine_unchanged_at_epoch_zero(self):
+        opt = make_opt(1.0)
+        CosineAnnealingLR(opt, t_max=10, min_lr=0.1)
+        assert opt.lr == pytest.approx(1.0)
+
+    def test_state_dict_round_trip(self):
+        opt = make_opt(1.0)
+        sched = LinearWarmup(opt, warmup_epochs=4)
+        for _ in range(3):
+            sched.step()
+        state = sched.state_dict()
+        fresh_opt = make_opt(1.0)
+        fresh = LinearWarmup(fresh_opt, warmup_epochs=4)
+        fresh.load_state_dict(state)
+        assert fresh.epoch == 3
+        assert fresh_opt.lr == pytest.approx(opt.lr)

@@ -1,0 +1,195 @@
+"""Checkpoint resume: a resumed run must equal the uninterrupted one.
+
+Regression for the bug where ``save_checkpoint`` persisted only model
+parameters — Adam moments, the bias-correction step count, and the
+scheduler epoch silently reset on resume, changing the trajectory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data import ArrayDataset
+from repro.errors import ConfigError
+from repro.model import RitaConfig, RitaModel
+from repro.nn.module import Parameter
+from repro.optim import SGD, AdamW, LinearWarmup
+from repro.tasks import ClassificationTask
+from repro.train import Trainer, load_checkpoint, save_checkpoint
+
+
+def make_setup(seed=0, lr=1e-3):
+    """Deterministic model/optimizer/scheduler/data (vanilla attention, no dropout)."""
+    config = RitaConfig(
+        input_channels=2, max_len=16, dim=16, n_layers=1, n_heads=2,
+        attention="vanilla", dropout=0.0, n_classes=2,
+    )
+    model = RitaModel(config, rng=np.random.default_rng(seed))
+    optimizer = AdamW(model.parameters(), lr=lr)
+    scheduler = LinearWarmup(optimizer, warmup_epochs=4)
+    data_rng = np.random.default_rng(123)
+    dataset = ArrayDataset(
+        x=data_rng.random((16, 16, 2)), y=data_rng.integers(0, 2, 16)
+    )
+    return model, optimizer, scheduler, dataset
+
+
+def run_epochs(model, optimizer, scheduler, dataset, epochs):
+    """Unshuffled epochs (deterministic batch order); returns per-epoch losses."""
+    trainer = Trainer(model, ClassificationTask(), optimizer)
+    losses = []
+    for _ in range(epochs):
+        from repro.data import DataLoader
+
+        loader = DataLoader(dataset, batch_size=8, shuffle=False)
+        mean_loss, *_ = trainer.train_epoch(loader)
+        losses.append(mean_loss)
+        scheduler.step()
+    return losses
+
+
+class TestResumeEqualsUninterrupted:
+    def test_losses_identical_after_resume(self, tmp_path):
+        # Uninterrupted: 4 epochs straight through.
+        model_a, opt_a, sched_a, data = make_setup()
+        losses_a = run_epochs(model_a, opt_a, sched_a, data, epochs=4)
+
+        # Interrupted: 2 epochs, checkpoint, rebuild everything, 2 more.
+        model_b, opt_b, sched_b, _ = make_setup()
+        losses_b = run_epochs(model_b, opt_b, sched_b, data, epochs=2)
+        path = tmp_path / "resume.npz"
+        save_checkpoint(model_b, path, metadata={"epoch": 2},
+                        optimizer=opt_b, scheduler=sched_b)
+
+        model_c, opt_c, sched_c, _ = make_setup(seed=999)  # different init
+        metadata = load_checkpoint(model_c, path, optimizer=opt_c, scheduler=sched_c)
+        assert metadata == {"epoch": 2}
+        losses_c = run_epochs(model_c, opt_c, sched_c, data, epochs=2)
+
+        # Exact equality: same weights, same Adam moments, same step count,
+        # same scheduler epoch -> bitwise-identical trajectory.
+        assert losses_b + losses_c == losses_a
+
+    def test_weights_identical_after_resume(self, tmp_path):
+        model_a, opt_a, sched_a, data = make_setup()
+        run_epochs(model_a, opt_a, sched_a, data, epochs=3)
+
+        model_b, opt_b, sched_b, _ = make_setup()
+        run_epochs(model_b, opt_b, sched_b, data, epochs=1)
+        path = tmp_path / "mid.npz"
+        save_checkpoint(model_b, path, optimizer=opt_b, scheduler=sched_b)
+        model_c, opt_c, sched_c, _ = make_setup(seed=31337)
+        load_checkpoint(model_c, path, optimizer=opt_c, scheduler=sched_c)
+        run_epochs(model_c, opt_c, sched_c, data, epochs=2)
+
+        for (name, a), (_, c) in zip(model_a.named_parameters(), model_c.named_parameters()):
+            np.testing.assert_array_equal(a.data, c.data, err_msg=name)
+
+    def test_without_optimizer_resume_diverges(self, tmp_path):
+        """Sanity check that the state actually matters: dropping the Adam
+        moments and step count changes the trajectory."""
+        model_a, opt_a, sched_a, data = make_setup()
+        losses_a = run_epochs(model_a, opt_a, sched_a, data, epochs=4)
+
+        model_b, opt_b, sched_b, _ = make_setup()
+        losses_b = run_epochs(model_b, opt_b, sched_b, data, epochs=2)
+        path = tmp_path / "weights_only.npz"
+        save_checkpoint(model_b, path)
+        model_c, opt_c, sched_c, _ = make_setup()
+        load_checkpoint(model_c, path)  # weights only; fresh optimizer state
+        losses_c = run_epochs(model_c, opt_c, sched_c, data, epochs=2)
+        assert losses_b + losses_c != losses_a
+
+
+class TestOptimizerStateDict:
+    def test_adam_round_trip(self):
+        rng = np.random.default_rng(0)
+        params = [Parameter(rng.standard_normal((3, 2))), Parameter(rng.standard_normal(4))]
+        opt = AdamW(params, lr=1e-2)
+        for _ in range(3):
+            for p in params:
+                p.grad = rng.standard_normal(p.shape)
+            opt.step()
+        state = opt.state_dict()
+        assert state["step_count"] == 3
+        clone_params = [Parameter(p.data.copy()) for p in params]
+        clone = AdamW(clone_params, lr=1e-2)
+        clone.load_state_dict(state)
+        # One more identical step on both must produce identical weights.
+        grads = [rng.standard_normal(p.shape) for p in params]
+        for p, c, g in zip(params, clone_params, grads):
+            p.grad, c.grad = g, g.copy()
+        opt.step()
+        clone.step()
+        for p, c in zip(params, clone_params):
+            np.testing.assert_array_equal(p.data, c.data)
+
+    def test_sgd_momentum_round_trip(self):
+        rng = np.random.default_rng(1)
+        param = Parameter(rng.standard_normal(5))
+        opt = SGD([param], lr=0.1, momentum=0.9)
+        param.grad = rng.standard_normal(5)
+        opt.step()
+        state = opt.state_dict()
+        assert "velocity" in state["state"]["0"]
+        clone_param = Parameter(param.data.copy())
+        clone = SGD([clone_param], lr=0.1, momentum=0.9)
+        clone.load_state_dict(state)
+        grad = rng.standard_normal(5)
+        param.grad, clone_param.grad = grad, grad.copy()
+        opt.step()
+        clone.step()
+        np.testing.assert_array_equal(param.data, clone_param.data)
+
+    def test_shape_mismatch_raises(self):
+        param = Parameter(np.zeros(3))
+        opt = AdamW([param], lr=1e-3)
+        bad = {"lr": 1e-3, "step_count": 1, "state": {"0": {"m": np.zeros(7)}}}
+        with pytest.raises(ConfigError):
+            opt.load_state_dict(bad)
+
+    def test_unknown_index_raises(self):
+        opt = AdamW([Parameter(np.zeros(3))], lr=1e-3)
+        with pytest.raises(ConfigError):
+            opt.load_state_dict({"lr": 1e-3, "step_count": 0, "state": {"9": {}}})
+
+
+class TestCheckpointStateErrors:
+    def test_loading_missing_optimizer_state_raises(self, tmp_path):
+        model, opt, sched, _ = make_setup()
+        path = tmp_path / "no_state.npz"
+        save_checkpoint(model, path)  # weights only
+        with pytest.raises(ConfigError):
+            load_checkpoint(model, path, optimizer=opt)
+        with pytest.raises(ConfigError):
+            load_checkpoint(model, path, scheduler=sched)
+
+    def test_metadata_survives_train_state(self, tmp_path):
+        model, opt, sched, _ = make_setup()
+        path = tmp_path / "full.npz"
+        save_checkpoint(model, path, metadata={"note": "hello"},
+                        optimizer=opt, scheduler=sched)
+        assert load_checkpoint(model, path) == {"note": "hello"}
+
+
+class TestCrossOptimizerState:
+    def test_loading_foreign_state_raises(self):
+        """Adam must refuse SGD's velocity (and vice versa) instead of
+        silently resetting the trajectory it was asked to resume."""
+        param = Parameter(np.zeros(3))
+        sgd = SGD([param], lr=0.1, momentum=0.9)
+        param.grad = np.ones(3)
+        sgd.step()
+        sgd_state = sgd.state_dict()
+        adam = AdamW([Parameter(np.zeros(3))], lr=1e-3)
+        with pytest.raises(ConfigError):
+            adam.load_state_dict(sgd_state)
+
+        adam2 = AdamW([param], lr=1e-3)
+        param.grad = np.ones(3)
+        adam2.step()
+        sgd2 = SGD([Parameter(np.zeros(3))], lr=0.1, momentum=0.9)
+        with pytest.raises(ConfigError):
+            sgd2.load_state_dict(adam2.state_dict())
