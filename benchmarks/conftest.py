@@ -10,7 +10,10 @@ file uses proper rounds).
 
 from __future__ import annotations
 
+import datetime
+import os
 import pathlib
+import platform
 
 import numpy as np
 import pytest
@@ -19,6 +22,30 @@ import repro
 import repro.kernels
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+_RUN_STAMP: str | None = None
+
+
+def provenance_line() -> str:
+    """One-line run-environment stamp appended to every result file.
+
+    Timings in ``benchmarks/results/`` are only comparable within a single
+    run on a single machine; this records which run produced each file.
+    The timestamp is captured once per pytest session, so every file from
+    one run carries the *identical* line — differing ``# run:`` lines in
+    the results directory therefore reliably mean a mixed-run mosaic.
+    """
+    global _RUN_STAMP
+    if _RUN_STAMP is None:
+        _RUN_STAMP = datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        )
+    return (
+        f"# run: {_RUN_STAMP} · {platform.platform()} · "
+        f"Python {platform.python_version()} · NumPy {np.__version__} · "
+        f"{os.cpu_count()} CPUs"
+    )
 
 
 @pytest.fixture(scope="session", autouse=True)
@@ -45,16 +72,34 @@ def results_dir() -> pathlib.Path:
     return RESULTS_DIR
 
 
+@pytest.hookimpl(wrapper=True, tryfirst=True)
+def pytest_runtest_makereport(item, call):
+    report = yield
+    setattr(item, f"rep_{report.when}", report)
+    return report
+
+
 @pytest.fixture
-def record(results_dir):
-    """Print a table and persist it under benchmarks/results/."""
+def record(results_dir, request):
+    """Print a table and persist it under benchmarks/results/.
+
+    The write is deferred to fixture teardown and only happens when the
+    test passed, so a failing run can never overwrite a committed result
+    artifact with numbers that violate the suite's own assertions.
+    """
+    pending: list[tuple[str, str]] = []
 
     def _record(name: str, text: str) -> None:
         print("\n" + text)
-        path = results_dir / f"{name}.txt"
-        path.write_text(text + "\n")
+        pending.append((name, text))
 
-    return _record
+    yield _record
+
+    call_report = getattr(request.node, "rep_call", None)
+    if call_report is not None and call_report.passed:
+        for name, text in pending:
+            path = results_dir / f"{name}.txt"
+            path.write_text(text + "\n" + provenance_line() + "\n")
 
 
 def run_once(benchmark, fn):

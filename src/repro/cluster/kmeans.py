@@ -96,8 +96,8 @@ def kmeans_pp_init(
     Returns ``(B, N, d)`` initial centers.  Used when no warm-start centers
     are available (first training iteration of each group-attention layer).
     With a boolean ``(B, n)`` ``mask`` (true = valid), invalid points get
-    zero sampling weight, so padded keys are never chosen as seeds unless a
-    batch element has fewer valid points than clusters.
+    zero sampling weight, so padded keys are never chosen as seeds; a batch
+    element with fewer valid points than clusters repeats valid seeds.
     """
     generator = get_rng(rng)
     batch, n, dim = points.shape
@@ -143,6 +143,10 @@ def kmeans_pp_init(
         cumulative = np.cumsum(probs, axis=1)
         draws = generator.random((batch, 1))
         chosen = (cumulative < draws).sum(axis=1).clip(0, n - 1)
+        if mask is not None:
+            # Round-off in the cumulative sum can land a draw on a
+            # zero-probability (padded) index; snap back to a valid seed.
+            chosen = np.where(mask[rows, chosen], chosen, first)
         centers[:, k] = points[rows, chosen]
     return centers
 
@@ -215,13 +219,19 @@ def batched_kmeans(
     else:
         # Sample N distinct indices per batch element in one pass.  With a
         # mask, invalid points sort last, so valid points fill the seed
-        # slots first (a batch element with fewer valid points than
-        # clusters seeds the excess from padding; those clusters end up
-        # empty and harmless).
+        # slots first.  A batch element with fewer valid points than
+        # clusters re-seeds the excess slots from its first valid point
+        # instead of from padding — duplicate seeds leave those clusters
+        # empty (count 0, radius 0) but keep the returned centers free of
+        # padded values, which matters because warm starts feed these
+        # centers into future batches.
         keys = generator.random((batch, n))
         if mask is not None:
             keys = np.where(mask, keys, 2.0)
         choice = np.argsort(keys, axis=1)[:, :n_clusters]
+        if mask is not None:
+            chosen_valid = np.take_along_axis(mask, choice, axis=1)
+            choice = np.where(chosen_valid, choice, choice[:, :1])
         centers = np.take_along_axis(points, choice[:, :, None], axis=1).copy()
 
     # Masked runs scatter into N + 1 segments; segment N is the discard

@@ -161,6 +161,17 @@ class RitaModel(Module):
         each sequence unpadded; window embeddings at padded positions are
         unspecified.
         """
+        cls_embedding, windows, _ = self._encode(series, mask)
+        return cls_embedding, windows
+
+    def _encode(
+        self, series, mask: np.ndarray | None
+    ) -> tuple[Tensor, Tensor, np.ndarray | None]:
+        """:meth:`encode` plus the derived window mask (``None`` unmasked).
+
+        Internal so masked consumers (``reconstruct``, ``embed``) reuse the
+        window mask instead of re-deriving and re-validating it.
+        """
         series = ops.astype(as_tensor(series), get_default_dtype())
         if mask is not None:
             # Zero the padded tail so boundary windows (receptive fields
@@ -170,6 +181,7 @@ class RitaModel(Module):
             series = series * np.asarray(mask, dtype=bool)[:, :, None].astype(series.dtype)
         windows = self.frontend(series)  # (B, n, d)
         batch = windows.shape[0]
+        wmask = None
         full_mask = None
         if mask is not None:
             wmask = self.window_mask(mask)
@@ -184,7 +196,7 @@ class RitaModel(Module):
         stacked = ops.concat([cls, windows], axis=1)
         positioned = self.positions(stacked)
         hidden = self.encoder(positioned, mask=full_mask)
-        return hidden[:, 0, :], hidden[:, 1:, :]
+        return hidden[:, 0, :], hidden[:, 1:, :], wmask
 
     # ------------------------------------------------------------------
     # Heads (paper A.7)
@@ -207,7 +219,15 @@ class RitaModel(Module):
         """
         series = as_tensor(series)
         length = series.shape[1]
-        _, windows = self.encode(series, mask=mask)
+        _, windows, wmask = self._encode(series, mask)
+        if wmask is not None:
+            # The decoder's receptive field at the last ``conv_padding``
+            # valid timesteps straddles windows past the valid range, whose
+            # embeddings are unspecified.  Zero them so those timesteps see
+            # exactly the absent-window zeros of the unpadded forward —
+            # valid reconstructions stay equal to running the sequence
+            # unpadded and independent of batchmates' lengths.
+            windows = windows * wmask[:, :, None].astype(windows.dtype)
         channels_first = windows.transpose((0, 2, 1))
         decoded = self.decoder(channels_first).transpose((0, 2, 1))
         if decoded.shape[1] < length:
@@ -305,10 +325,9 @@ class RitaModel(Module):
             raise ConfigError(f"unknown pooling {pooling!r}; expected 'cls' or 'mean'")
 
         def one_chunk(x, m):
-            cls_embedding, windows = self.encode(x, mask=m)
+            cls_embedding, windows, wmask = self._encode(x, m)
             if pooling == "cls":
                 return cls_embedding.data
-            wmask = None if m is None else self.window_mask(m)
             return self.pool_windows(windows, wmask).data
 
         with self._inference():

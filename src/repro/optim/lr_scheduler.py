@@ -69,13 +69,14 @@ class CosineAnnealingLR(LRScheduler):
 
 
 class LinearWarmup(LRScheduler):
-    """Linear ramp from 0 to the base LR over ``warmup_epochs`` epochs.
+    """Linear ramp up to the base LR over ``warmup_epochs`` epochs.
 
-    Applied at construction: epoch ``e`` trains at ``base_lr * e / W``,
-    reaching the base LR at epoch ``W`` and staying there.  Epoch 0
-    therefore trains at LR exactly 0 — the same ``step / W`` convention
-    as the usual step-based linear warmup schedules — so with very small
-    ``warmup_epochs`` the first epoch only accumulates optimizer moments.
+    Applied at construction: epoch ``e`` trains at
+    ``base_lr * (e + 1) / W``, reaching the base LR at epoch ``W - 1``
+    and staying there.  The ``(e + 1) / W`` convention means epoch 0
+    trains at ``base_lr / W`` — near zero for any real warmup length —
+    rather than at exactly 0, which would spend a whole epoch on forward/
+    backward passes whose updates are all ``param += 0``.
     """
 
     def __init__(self, optimizer: Optimizer, warmup_epochs: int) -> None:
@@ -83,6 +84,6 @@ class LinearWarmup(LRScheduler):
         super().__init__(optimizer)
 
     def get_lr(self, epoch: int) -> float:
-        if epoch >= self.warmup_epochs:
+        if epoch >= self.warmup_epochs - 1:
             return self.base_lr
-        return self.base_lr * epoch / self.warmup_epochs
+        return self.base_lr * (epoch + 1) / self.warmup_epochs

@@ -140,6 +140,23 @@ class TestGroupMaskedClustering:
             # No centroid may sit at the garbage location.
             assert np.abs(result.centers).max() < 1e3, init
 
+    def test_fewer_valid_points_than_clusters_keeps_centers_valid(self, rng):
+        """Regression: with n_valid < n_clusters, the excess random-init
+        seed slots used to take raw padded-point values, which then leaked
+        into warm starts for subsequent batches."""
+        base = rng.standard_normal((1, 8, 3))
+        mask = (np.arange(8) < 5)[None, :]
+        a = base.copy()
+        a[0, 5:] = 100.0
+        b = base.copy()
+        b[0, 5:] = -3.7
+        for init in ("random", "++"):
+            ra = batched_kmeans(a, 8, n_iters=2, init=init, mask=mask, rng=np.random.default_rng(7))
+            rb = batched_kmeans(b, 8, n_iters=2, init=init, mask=mask, rng=np.random.default_rng(7))
+            np.testing.assert_array_equal(ra.centers, rb.centers, err_msg=init)
+            np.testing.assert_array_equal(ra.assignments, rb.assignments, err_msg=init)
+            assert not np.isclose(ra.centers, 100.0).any(), init
+
     def test_group_aggregates_exclude_padded_values(self, rng):
         """Huge padded v-values must not move any valid output."""
         q, k, v, mask = ragged_qkv()

@@ -77,6 +77,35 @@ class TestEncodeParity:
         assert recon.shape == padded.shape
 
 
+class TestReconstructParity:
+    @pytest.mark.parametrize("attention", ["vanilla", "local", "performer", "linformer", "group"])
+    def test_padded_reconstruct_matches_unpadded(self, rng, attention):
+        """Regression: the decoder's receptive field at the last
+        ``conv_padding`` valid timesteps straddles windows past the valid
+        range; their (unspecified) embeddings used to contaminate the
+        reconstruction of the valid tail."""
+        model = make_model(attention).eval()
+        for layer in model.group_attention_layers():
+            layer.warm_start = False
+        series, padded, mask = ragged_batch(rng)
+        recon = model.reconstruct(padded, mask=mask)
+        for b, single in enumerate(series):
+            solo = model.reconstruct(single[None])
+            np.testing.assert_allclose(
+                recon.data[b, : len(single)], solo.data[0], atol=1e-5, rtol=1e-5,
+                err_msg=f"{attention}: reconstruct parity broken for sequence {b}",
+            )
+
+    def test_reconstruct_valid_region_independent_of_pad_content(self, rng):
+        model = make_model("vanilla").eval()
+        _, padded, mask = ragged_batch(rng)
+        garbage = padded.copy()
+        garbage[~mask] = 777.0
+        recon_a = model.reconstruct(padded, mask=mask)
+        recon_b = model.reconstruct(garbage, mask=mask)
+        np.testing.assert_array_equal(recon_a.data[mask], recon_b.data[mask])
+
+
 class TestWindowMask:
     def test_rejects_non_left_aligned(self, rng):
         model = make_model()

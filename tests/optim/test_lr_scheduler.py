@@ -46,21 +46,24 @@ class TestWarmup:
     def test_ramps_linearly(self):
         opt = make_opt(2.0)
         sched = LinearWarmup(opt, warmup_epochs=4)
-        assert sched.get_lr(1) == pytest.approx(0.5)
-        assert sched.get_lr(2) == pytest.approx(1.0)
-        assert sched.get_lr(4) == pytest.approx(2.0)
+        assert sched.get_lr(1) == pytest.approx(1.0)
+        assert sched.get_lr(2) == pytest.approx(1.5)
+        assert sched.get_lr(3) == pytest.approx(2.0)
         assert sched.get_lr(10) == pytest.approx(2.0)
 
-    def test_first_epoch_starts_at_zero_not_base_lr(self):
+    def test_first_epoch_starts_near_zero_not_base_lr(self):
         """Regression: construction must apply get_lr(0) immediately.
 
         The scheduler used to leave ``optimizer.lr`` at the full base LR
         until the first ``step()`` — i.e. the entire first epoch trained
-        unwarmed, defeating the point of warmup.
+        unwarmed, defeating the point of warmup.  Epoch 0 must train at
+        ``base_lr / W``: small, but not exactly 0, which would make every
+        update in the first epoch a no-op (one dead epoch of compute).
         """
         opt = make_opt(2.0)
         LinearWarmup(opt, warmup_epochs=4)
-        assert opt.lr == pytest.approx(0.0)
+        assert opt.lr == pytest.approx(0.5)
+        assert opt.lr > 0.0
 
     def test_per_epoch_lr_trace(self):
         """The LR actually *seen* by each training epoch, start to finish."""
@@ -70,7 +73,7 @@ class TestWarmup:
         for _ in range(7):
             trace.append(opt.lr)  # LR used during this epoch
             sched.step()
-        assert trace == pytest.approx([0.0, 0.25, 0.5, 0.75, 1.0, 1.0, 1.0])
+        assert trace == pytest.approx([0.25, 0.5, 0.75, 1.0, 1.0, 1.0, 1.0])
 
     def test_base_lr_preserved_for_later_epochs(self):
         opt = make_opt(3.0)
