@@ -15,7 +15,7 @@ Run:  python examples/variable_length.py
 import numpy as np
 
 import repro
-from repro.data import DataLoader, RaggedDataset, pad_collate, pad_ragged
+from repro.data import DataLoader, RaggedDataset, pad_collate
 
 
 def make_ragged_dataset(n: int, rng: np.random.Generator):
@@ -69,12 +69,13 @@ def main() -> None:
     print(f"val accuracy after {len(history.epochs)} epochs: "
           f"{history.final.val_metrics['accuracy']:.2f}")
 
-    # Serving: pad the request, pass the mask, chunk for bounded memory.
+    # Serving: the engine takes the ragged list directly (padding and
+    # mask handled internally) and chunks for bounded memory.
+    engine = repro.InferenceEngine(model, max_batch_size=4)
     request = [valid[i]["x"] for i in range(8)]
-    batch, mask = pad_ragged(request)
-    predictions = model.predict(batch, mask=mask, batch_size=4)
-    solo = np.array([int(model.predict(s[None])[0]) for s in request])
-    print(f"chunked padded predictions: {predictions.tolist()}")
+    predictions = engine.predict(request)
+    solo = np.array([int(engine.predict(s)[0]) for s in request])
+    print(f"chunked ragged predictions: {predictions.tolist()}")
     print(f"match unpadded one-by-one:  {(predictions == solo).all()}")
 
 

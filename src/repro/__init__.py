@@ -9,7 +9,11 @@ learning engine.  Public API highlights:
   the dynamic scheduling of Sec. 5;
 * :mod:`repro.data` — dataset registry with the paper's corpora surrogates;
 * :class:`repro.Trainer` — training with the paper's measurement points;
-* :mod:`repro.baselines` — TST and GRAIL.
+* :mod:`repro.baselines` — TST and GRAIL;
+* :mod:`repro.serve` — the inference stack: :class:`repro.ModelArtifact`
+  (frozen bundles), :class:`repro.InferenceEngine` (task-typed
+  endpoints), :class:`repro.MicroBatcher` and
+  :class:`repro.StreamingSession`.
 
 Quickstart::
 
@@ -67,6 +71,12 @@ from repro.data import (
     unpad,
 )
 from repro.baselines import GrailClassifier, TSTConfig, TSTModel
+from repro.serve import (
+    InferenceEngine,
+    MicroBatcher,
+    ModelArtifact,
+    StreamingSession,
+)
 
 __version__ = "1.0.0"
 
@@ -116,5 +126,9 @@ __all__ = [
     "GrailClassifier",
     "TSTConfig",
     "TSTModel",
+    "InferenceEngine",
+    "MicroBatcher",
+    "ModelArtifact",
+    "StreamingSession",
     "__version__",
 ]

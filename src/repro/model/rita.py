@@ -14,13 +14,13 @@ Heads (paper Sec. A.7):
 
 from __future__ import annotations
 
-import contextlib
+import warnings
 
 import numpy as np
 
 from repro.attention.group import GroupAttention
 from repro.autograd import ops
-from repro.autograd.tensor import Tensor, as_tensor, no_grad
+from repro.autograd.tensor import Tensor, as_tensor
 from repro.errors import ConfigError, ShapeError
 from repro.kernels.policy import get_default_dtype
 from repro.model.config import RitaConfig
@@ -30,6 +30,10 @@ from repro.rng import get_rng
 from repro.simgpu.memory import MemoryModel
 
 __all__ = ["TimeAwareConvolution", "RitaModel"]
+
+#: One DeprecationWarning per process for the whole legacy serving surface
+#: (predict / predict_logits / predict_series / embed).
+_SERVING_DEPRECATION_WARNED = False
 
 
 class TimeAwareConvolution(Module):
@@ -238,74 +242,42 @@ class RitaModel(Module):
         return decoded[:, :length, :]
 
     # ------------------------------------------------------------------
-    # Inference fast paths (no graph construction)
+    # Deprecated inference shims (the serving surface moved to
+    # repro.serve.InferenceEngine; these stay for output parity)
     # ------------------------------------------------------------------
-    @contextlib.contextmanager
-    def _inference(self):
-        """Eval mode + ``no_grad`` for the duration; restores training mode."""
-        was_training = self.training
-        if was_training:
-            self.eval()
-        try:
-            with no_grad():
-                yield
-        finally:
-            if was_training:
-                self.train()
+    def _serving_engine(self, batch_size: int | None):
+        """One-shot engine over this live model (deprecated-path plumbing)."""
+        global _SERVING_DEPRECATION_WARNED
+        if not _SERVING_DEPRECATION_WARNED:
+            _SERVING_DEPRECATION_WARNED = True
+            warnings.warn(
+                "RitaModel.predict/predict_logits/predict_series/embed are "
+                "deprecated; serve through repro.serve.InferenceEngine "
+                "(engine.predict/classify/reconstruct/embed)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        from repro.serve.engine import InferenceEngine
 
-    def _serve_chunked(self, fn, series, mask, batch_size: int | None) -> np.ndarray:
-        """Run ``fn(series_chunk, mask_chunk)`` over bounded-size chunks.
-
-        ``batch_size=None`` keeps the single-pass behaviour.  Chunking
-        bounds peak activation memory for large serving requests — a
-        10k-sample request otherwise materializes every intermediate at
-        full batch size even on the no-grad fast path.
-        """
-        series_arr = series.data if isinstance(series, Tensor) else np.asarray(series)
-        mask_arr = None if mask is None else np.asarray(mask, dtype=bool)
-        if batch_size is None or len(series_arr) <= batch_size:
-            return fn(series_arr, mask_arr)
-        if batch_size < 1:
-            raise ConfigError("batch_size must be >= 1 or None")
-        pieces = []
-        for start in range(0, len(series_arr), batch_size):
-            chunk = series_arr[start : start + batch_size]
-            chunk_mask = None if mask_arr is None else mask_arr[start : start + batch_size]
-            pieces.append(fn(chunk, chunk_mask))
-        return np.concatenate(pieces, axis=0)
+        return InferenceEngine(self, max_batch_size=batch_size)
 
     def predict_logits(
         self, series, mask: np.ndarray | None = None, batch_size: int | None = None
     ) -> np.ndarray:
-        """Class logits on the inference fast path.
-
-        Runs in eval mode (dropout off) under ``no_grad``, so no autograd
-        graph is built and the kernel layer skips backward caches
-        (layer-norm statistics, relu masks); prediction allocates only
-        forward activations.  Training mode is restored afterwards.
-        ``batch_size`` bounds peak memory by serving the request in
-        chunks; ``mask`` is the ``(B, L)`` validity mask of a padded
-        ragged batch.
-        """
-        with self._inference():
-            return self._serve_chunked(
-                lambda x, m: self.classify(x, mask=m).data, series, mask, batch_size
-            )
+        """Deprecated: use :meth:`repro.serve.InferenceEngine.classify`."""
+        return self._serving_engine(batch_size).classify(series, mask=mask)
 
     def predict(
         self, series, mask: np.ndarray | None = None, batch_size: int | None = None
     ) -> np.ndarray:
-        """Predicted class ids ``(B,)`` via :meth:`predict_logits`."""
-        return self.predict_logits(series, mask=mask, batch_size=batch_size).argmax(axis=-1)
+        """Deprecated: use :meth:`repro.serve.InferenceEngine.predict`."""
+        return self._serving_engine(batch_size).predict(series, mask=mask)
 
     def predict_series(
         self, series, mask: np.ndarray | None = None, batch_size: int | None = None
     ) -> np.ndarray:
-        """Reconstructed series on the inference fast path (imputation/forecasting)."""
-        with self._inference():
-            return self._serve_chunked(
-                lambda x, m: self.reconstruct(x, mask=m).data, series, mask, batch_size
-            )
+        """Deprecated: use :meth:`repro.serve.InferenceEngine.reconstruct`."""
+        return self._serving_engine(batch_size).reconstruct(series, mask=mask)
 
     def embed(
         self,
@@ -314,24 +286,8 @@ class RitaModel(Module):
         batch_size: int | None = None,
         pooling: str = "cls",
     ) -> np.ndarray:
-        """Series-level embedding as a NumPy array (A.7.4; no grad).
-
-        ``pooling``: ``"cls"`` returns the [CLS] representation (the
-        paper's choice); ``"mean"`` mean-pools the window embeddings —
-        masked mean pooling on ragged batches, so padded windows never
-        enter the average.
-        """
-        if pooling not in {"cls", "mean"}:
-            raise ConfigError(f"unknown pooling {pooling!r}; expected 'cls' or 'mean'")
-
-        def one_chunk(x, m):
-            cls_embedding, windows, wmask = self._encode(x, m)
-            if pooling == "cls":
-                return cls_embedding.data
-            return self.pool_windows(windows, wmask).data
-
-        with self._inference():
-            return self._serve_chunked(one_chunk, series, mask, batch_size)
+        """Deprecated: use :meth:`repro.serve.InferenceEngine.embed`."""
+        return self._serving_engine(batch_size).embed(series, mask=mask, pooling=pooling)
 
     # ------------------------------------------------------------------
     # Introspection used by scheduler / memory accounting

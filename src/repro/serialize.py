@@ -1,0 +1,105 @@
+"""Shared ``.npz`` serialization core for checkpoints and artifacts.
+
+Both :mod:`repro.train.checkpoint` (training resume bundles) and
+:mod:`repro.serve.artifact` (frozen inference bundles) store NumPy weight
+arrays plus JSON side-channel payloads in a single ``.npz`` file.  This
+module owns the pieces they share — JSON-in-array encoding, format
+versioning, and defensive loading — so the serving stack can read and
+write bundles with **zero training imports** (importing
+``repro.train.checkpoint`` would execute the whole ``repro.train``
+package, pulling in the trainer, tasks and optimizers).
+
+Format versioning: every bundle written today carries an integer format
+version under a reserved key.  Loaders accept any version up to their
+``supported`` ceiling — older readers meeting a newer file fail with a
+clear :class:`~repro.errors.ConfigError` instead of silently
+misinterpreting keys.  Files from before versioning existed (no version
+key) load as version 0.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import zipfile
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "encode_json",
+    "decode_json",
+    "read_format_version",
+    "check_format_version",
+    "open_archive",
+    "resolve_npz_path",
+    "saved_npz_path",
+]
+
+
+def encode_json(payload: dict) -> np.ndarray:
+    """Encode a JSON-serializable dict as a ``uint8`` array for ``np.savez``."""
+    return np.frombuffer(json.dumps(payload).encode("utf-8"), dtype=np.uint8)
+
+
+def decode_json(array: np.ndarray, what: str = "payload") -> dict:
+    """Invert :func:`encode_json`; corrupt bytes raise :class:`ConfigError`."""
+    try:
+        decoded = json.loads(np.asarray(array, dtype=np.uint8).tobytes().decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"corrupt {what}: not valid JSON ({exc})") from None
+    if not isinstance(decoded, dict):
+        raise ConfigError(f"corrupt {what}: expected a JSON object, got {type(decoded).__name__}")
+    return decoded
+
+
+def read_format_version(archive, key: str) -> int:
+    """The bundle's format version; 0 when the key predates versioning."""
+    if key not in archive:
+        return 0
+    try:
+        return int(np.asarray(archive[key]).reshape(()))
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"corrupt format-version entry {key!r}: {exc}") from None
+
+
+def check_format_version(version: int, supported: int, what: str) -> int:
+    """Reject bundles newer than this reader understands."""
+    if version > supported:
+        raise ConfigError(
+            f"{what} uses format version {version}, but this build only "
+            f"understands versions <= {supported}; upgrade the library to load it"
+        )
+    return version
+
+
+def resolve_npz_path(path) -> pathlib.Path:
+    """``path`` or ``path + '.npz'`` — whichever exists (NumPy appends it)."""
+    path = pathlib.Path(path)
+    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def saved_npz_path(path) -> pathlib.Path:
+    """The file ``np.savez(path, ...)`` actually writes (``.npz`` appended)."""
+    path = pathlib.Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    return path
+
+
+def open_archive(path, what: str = "bundle"):
+    """``np.load`` with :class:`ConfigError` on missing/corrupt/non-npz files."""
+    path = resolve_npz_path(path)
+    if not path.exists():
+        raise ConfigError(f"{what} not found: {path}")
+    try:
+        archive = np.load(path)
+    except (ValueError, OSError, EOFError, zipfile.BadZipFile) as exc:
+        raise ConfigError(f"could not read {what} {path}: {exc}") from None
+    if not isinstance(archive, np.lib.npyio.NpzFile):
+        # np.load returns a bare array for .npy files — not a bundle.
+        raise ConfigError(f"{what} {path} is not an .npz bundle")
+    return archive

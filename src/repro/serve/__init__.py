@@ -1,0 +1,32 @@
+"""Unified inference API: frozen artifacts, typed endpoints, batched + streaming serving.
+
+The serving stack, layered bottom-up:
+
+* :class:`ModelArtifact` — frozen, versioned inference bundle (config +
+  weights + dtype + format version) with no training state inside; the
+  serve modules never import the training stack themselves;
+* :class:`InferenceEngine` — eval-mode/no-grad execution with a pinned
+  dtype behind task-typed endpoints (``classify`` / ``embed`` /
+  ``reconstruct`` / ``forecast`` / ``search``);
+* :class:`MicroBatcher` — coalesces concurrent per-request calls into
+  length-bucketed padded batches under a size/latency budget;
+* :class:`StreamingSession` — append-only sliding-window inference that
+  encodes only windows covering new timesteps.
+
+See the README "Serving" section and ``examples/serving.py``.
+"""
+
+from repro.serve.artifact import ARTIFACT_FORMAT_VERSION, ModelArtifact
+from repro.serve.batcher import MicroBatcher, PendingResult
+from repro.serve.engine import EngineStats, InferenceEngine
+from repro.serve.streaming import StreamingSession
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "ModelArtifact",
+    "MicroBatcher",
+    "PendingResult",
+    "EngineStats",
+    "InferenceEngine",
+    "StreamingSession",
+]

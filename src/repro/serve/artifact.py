@@ -1,0 +1,191 @@
+"""Frozen, versioned inference bundles (``ModelArtifact``).
+
+A checkpoint (:mod:`repro.train.checkpoint`) is a *training* bundle:
+weights plus optimizer moments and scheduler epoch, loaded into an
+architecture the caller has to rebuild by hand.  Serving wants the
+opposite trade: a **self-describing** bundle that pins everything needed
+to reproduce inference bit-for-bit — model config, weights, the compute
+dtype the model was exported under, and a format version — with no
+training state inside and no serve-module dependency on the training
+stack (nothing under ``repro.serve`` or :mod:`repro.serialize` imports
+``repro.train`` / ``repro.optim``; the ``repro`` package root still
+re-exports the full API).
+
+::
+
+    from repro.serve import ModelArtifact
+
+    ModelArtifact.from_model(model, metadata={"run": "wisdm-v3"}).save("model.rita")
+    ...
+    artifact = ModelArtifact.load("model.rita")
+    model = artifact.build_model()                 # eval mode, pinned dtype
+
+Every failure mode — not an artifact file, newer format version, unknown
+or missing config fields, missing/extra/mis-shaped weights, invalid dtype
+— raises :class:`~repro.errors.ConfigError` with a message naming the
+problem; nothing surfaces as ``KeyError`` or loads as silent garbage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.kernels.policy import dtype_scope, get_default_dtype, resolve_dtype
+from repro.model.config import RitaConfig
+from repro.model.rita import RitaModel
+from repro.serialize import (
+    check_format_version,
+    decode_json,
+    encode_json,
+    open_archive,
+    read_format_version,
+    saved_npz_path,
+)
+
+__all__ = ["ModelArtifact", "ARTIFACT_FORMAT_VERSION"]
+
+#: Bump on incompatible layout changes; loaders reject newer files.
+ARTIFACT_FORMAT_VERSION = 1
+
+#: JSON header: format version, config dict, dtype string, user metadata.
+_HEADER_KEY = "__artifact__"
+#: Stand-alone version key so readers can reject before parsing the header.
+_VERSION_KEY = "__artifact_format__"
+_WEIGHT_PREFIX = "weights/"
+
+
+@dataclass
+class ModelArtifact:
+    """Everything needed to run inference: config, weights, dtype, metadata.
+
+    Instances are plain data — construction never touches the model
+    classes.  :meth:`build_model` materializes a :class:`RitaModel` in
+    eval mode with the artifact's weights and dtype.
+    """
+
+    config: RitaConfig
+    weights: dict[str, np.ndarray]
+    dtype: np.dtype
+    metadata: dict = field(default_factory=dict)
+    format_version: int = ARTIFACT_FORMAT_VERSION
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(
+        cls,
+        model: RitaModel,
+        metadata: dict | None = None,
+        dtype=None,
+    ) -> "ModelArtifact":
+        """Snapshot a live model into a frozen artifact.
+
+        ``dtype`` pins the inference compute dtype (weights are stored in
+        it); defaults to the current policy dtype, so a model exported
+        from a float32 process serves in float32.
+        """
+        config = getattr(model, "config", None)
+        if not isinstance(config, RitaConfig):
+            raise ConfigError(
+                f"ModelArtifact.from_model needs a RitaModel with a RitaConfig; "
+                f"got {type(model).__name__}"
+            )
+        pinned = resolve_dtype(dtype) if dtype is not None else get_default_dtype()
+        weights = {
+            name: np.asarray(values, dtype=pinned)
+            for name, values in model.state_dict().items()
+        }
+        return cls(
+            config=dataclasses.replace(config),
+            weights=weights,
+            dtype=pinned,
+            metadata=dict(metadata or {}),
+        )
+
+    # ------------------------------------------------------------------
+    def save(self, path) -> "pathlib.Path":
+        """Write the artifact as a single ``.npz`` bundle.
+
+        Returns the path actually written: NumPy appends ``.npz`` when
+        missing, so ``save("model.rita")`` creates ``model.rita.npz`` —
+        ship the returned path, not the one passed in.  :meth:`load`
+        accepts either form.
+        """
+        header = {
+            "format_version": self.format_version,
+            "config": dataclasses.asdict(self.config),
+            "dtype": np.dtype(self.dtype).name,
+            "metadata": self.metadata,
+        }
+        payload = {f"{_WEIGHT_PREFIX}{name}": values for name, values in self.weights.items()}
+        payload[_HEADER_KEY] = encode_json(header)
+        payload[_VERSION_KEY] = np.asarray(self.format_version, dtype=np.int64)
+        target = saved_npz_path(path)
+        np.savez(target, **payload)
+        return target
+
+    @classmethod
+    def load(cls, path) -> "ModelArtifact":
+        """Read an artifact; every failure mode raises :class:`ConfigError`."""
+        with open_archive(path, what="model artifact") as archive:
+            if _HEADER_KEY not in archive:
+                raise ConfigError(
+                    f"{path} is not a model artifact (no {_HEADER_KEY!r} header); "
+                    "training checkpoints are loaded with repro.train.load_checkpoint"
+                )
+            version = check_format_version(
+                read_format_version(archive, _VERSION_KEY),
+                ARTIFACT_FORMAT_VERSION,
+                what=f"model artifact {path}",
+            )
+            header = decode_json(archive[_HEADER_KEY], "artifact header")
+            weights = {
+                key[len(_WEIGHT_PREFIX):]: archive[key]
+                for key in archive.files
+                if key.startswith(_WEIGHT_PREFIX)
+            }
+        for required in ("config", "dtype"):
+            if required not in header:
+                raise ConfigError(f"artifact header missing {required!r} field")
+        config_dict = header["config"]
+        if not isinstance(config_dict, dict):
+            raise ConfigError("artifact header 'config' must be an object")
+        try:
+            config = RitaConfig(**config_dict)
+        except TypeError as exc:
+            # Unknown or missing dataclass fields — a config written by a
+            # different library version.
+            raise ConfigError(f"artifact config does not match RitaConfig: {exc}") from None
+        dtype = resolve_dtype(header["dtype"])  # ConfigError on junk
+        metadata = header.get("metadata", {})
+        if not isinstance(metadata, dict):
+            raise ConfigError(
+                f"artifact header 'metadata' must be an object, got {type(metadata).__name__}"
+            )
+        return cls(
+            config=config,
+            weights=weights,
+            dtype=dtype,
+            metadata=metadata,
+            format_version=version,
+        )
+
+    # ------------------------------------------------------------------
+    def build_model(self, rng: np.random.Generator | None = None) -> RitaModel:
+        """Materialize the artifact as an eval-mode :class:`RitaModel`.
+
+        Weight names and shapes must match the architecture the config
+        describes; mismatches raise :class:`ConfigError` via
+        ``load_state_dict``.  The returned model's parameters are in the
+        artifact dtype regardless of the process dtype policy.
+        """
+        with dtype_scope(self.dtype):
+            model = RitaModel(self.config, rng=rng)
+        model.load_state_dict(
+            {name: np.asarray(values, dtype=self.dtype) for name, values in self.weights.items()}
+        )
+        return model.eval()

@@ -1,0 +1,216 @@
+"""``StreamingSession`` — append-only sliding-window inference.
+
+The canonical deployment of a timeseries encoder (clinical monitoring,
+the paper's MGH workload) is a **stream**: samples arrive continuously
+and the consumer wants per-window outputs (embeddings, class scores,
+reconstructions) over a sliding window.  Consecutive windows overlap
+almost entirely, and under append-only semantics an already-emitted
+window never changes — so its output is a pure cache hit.
+
+The session mirrors :func:`repro.data.sliding_windows` geometry (window
+``window``, stride ``step``; a window is emitted once fully covered by
+the stream) and recomputes **only the windows that cover new
+timesteps**; everything earlier is served from the output cache.  The
+``windows_encoded_total`` / ``windows_reused_total`` counters make that
+contract testable.
+
+Memory: the *input* buffer is trailing — bounded by roughly
+``window + step`` samples regardless of stream length.  Per-window
+*outputs* accumulate so :meth:`outputs` can return the whole history;
+on an unbounded stream call :meth:`drain` periodically to take
+ownership of (and release) the emitted outputs, which keeps the session
+itself O(window).
+
+Group-attention models keep their amortized recluster cache warm across
+``append`` calls: the session never invalidates it, and single-window
+appends present the stable ``(batch, heads, n, d_k)`` geometry the cache
+needs, so slowly-drifting streams recluster on the Lemma-1 guard instead
+of every call.  Pass ``recluster_every`` to pin a serving-time cadence
+different from the training-time one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError, ShapeError
+from repro.serve.engine import InferenceEngine
+
+__all__ = ["StreamingSession"]
+
+_ENDPOINTS = {"embed", "classify", "reconstruct"}
+
+
+class StreamingSession:
+    """Incremental sliding-window inference over one append-only stream.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`InferenceEngine` whose endpoint serves each window.
+    window, step:
+        Sliding-window geometry (``step`` defaults to ``window``,
+        non-overlapping).  Window ``j`` covers timesteps
+        ``[j * step, j * step + window)`` and is emitted as soon as the
+        stream reaches its end.
+    endpoint:
+        ``"embed"`` (default), ``"classify"`` or ``"reconstruct"`` — the
+        per-window output type.
+    recluster_every:
+        Optional serving-time override of every group-attention layer's
+        recluster cadence for the session's lifetime (training value is
+        restored by :meth:`close`).
+    endpoint_kwargs:
+        Extra keyword arguments forwarded to the endpoint (e.g.
+        ``pooling="mean"`` for ``embed``).
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        window: int,
+        step: int | None = None,
+        endpoint: str = "embed",
+        recluster_every: int | None = None,
+        **endpoint_kwargs,
+    ) -> None:
+        if window < 1:
+            raise ConfigError("window must be >= 1")
+        step = window if step is None else int(step)
+        if step < 1:
+            raise ConfigError("step must be >= 1")
+        if endpoint not in _ENDPOINTS:
+            raise ConfigError(
+                f"unknown endpoint {endpoint!r}; expected one of {sorted(_ENDPOINTS)}"
+            )
+        self.engine = engine
+        self.window = int(window)
+        self.step = step
+        self.endpoint = endpoint
+        self._endpoint_kwargs = dict(endpoint_kwargs)
+        self._fn = getattr(engine, endpoint)
+        #: Trailing stream buffer: samples from ``_buffer_start`` onward.
+        #: Timesteps no future window can cover are dropped on append.
+        self._buffer: np.ndarray | None = None
+        self._buffer_start = 0
+        self.samples_seen = 0
+        self._outputs: list[np.ndarray] = []
+        self._drained = 0
+        # Zero-window appends return an empty array with the endpoint's
+        # actual row shape, so callers can concatenate every append's
+        # result unconditionally.  The shape is known from the config;
+        # the first encode re-derives it from a real output.
+        config = engine.config
+        if endpoint == "classify":
+            if config.n_classes is None:
+                raise ConfigError(
+                    "streaming classify needs a model with a classifier head"
+                )
+            row_shape: tuple[int, ...] = (config.n_classes,)
+        elif endpoint == "embed":
+            row_shape = (config.dim,)
+        else:
+            row_shape = (self.window, config.input_channels)
+        self._row_template = np.empty((0,) + row_shape, dtype=engine.dtype)
+        self.windows_encoded_total = 0
+        self.windows_reused_total = 0
+        self._restore_cadence: list[tuple] = []
+        if recluster_every is not None:
+            if recluster_every < 1:
+                raise ConfigError("recluster_every must be >= 1")
+            for layer in engine.model.group_attention_layers():
+                self._restore_cadence.append((layer, layer.recluster_every))
+                layer.recluster_every = int(recluster_every)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_windows(self) -> int:
+        """Windows emitted so far (including drained ones)."""
+        return self._drained + len(self._outputs)
+
+    def outputs(self) -> np.ndarray:
+        """Per-window outputs since the last :meth:`drain`, stacked on axis 0.
+
+        Reads are pure cache hits (``windows_reused_total`` counts them);
+        with no intervening ``drain`` this equals running the endpoint
+        over ``sliding_windows(stream, window, step)`` in one batch.
+        """
+        if not self._outputs:
+            raise ConfigError("no undrained window outputs; append more samples")
+        self.windows_reused_total += len(self._outputs)
+        return np.stack(self._outputs)
+
+    def drain(self) -> np.ndarray:
+        """Take ownership of the cached outputs and clear them.
+
+        Returns the stacked ``(k, ...)`` outputs accumulated since the
+        last drain (possibly ``(0, ...)``-shaped) and releases them from
+        the session, bounding session memory on unbounded streams.
+        Window geometry is unaffected — ``n_windows`` keeps counting
+        drained windows.
+        """
+        if not self._outputs:
+            return self._row_template
+        drained = np.stack(self._outputs)
+        self._drained += len(self._outputs)
+        self._outputs.clear()
+        return drained
+
+    def __enter__(self) -> "StreamingSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Restore any overridden group-attention recluster cadence."""
+        for layer, cadence in self._restore_cadence:
+            layer.recluster_every = cadence
+        self._restore_cadence = []
+
+    # ------------------------------------------------------------------
+    def append(self, samples: np.ndarray) -> np.ndarray:
+        """Feed ``(t, m)`` new samples; returns outputs of newly completed windows.
+
+        Only windows whose span ends inside the appended region are
+        encoded (in one batch); every earlier window stays cached.  The
+        returned array is ``(k_new, ...)`` — empty when the stream has
+        not yet reached the next window boundary.
+        """
+        samples = np.asarray(samples)
+        if samples.ndim != 2:
+            raise ShapeError(f"append expects (t, m) samples, got {samples.shape}")
+        if self._buffer is None:
+            self._buffer = samples.copy()
+        else:
+            if samples.shape[1] != self._buffer.shape[1]:
+                raise ShapeError(
+                    f"stream has {self._buffer.shape[1]} channels, "
+                    f"append got {samples.shape[1]}"
+                )
+            self._buffer = np.concatenate([self._buffer, samples], axis=0)
+        self.samples_seen += samples.shape[0]
+
+        new_windows = []
+        start = self.n_windows * self.step
+        while start + self.window <= self.samples_seen:
+            lo = start - self._buffer_start
+            new_windows.append(self._buffer[lo : lo + self.window])
+            start += self.step
+        if new_windows:
+            batch = np.stack(new_windows)
+            out = self._fn(batch, **self._endpoint_kwargs)
+            self._outputs.extend(out)
+            self.windows_encoded_total += len(new_windows)
+            self._row_template = np.empty((0,) + out.shape[1:], dtype=out.dtype)
+        else:
+            out = self._row_template  # (0, ...) matching the endpoint's row shape
+
+        # Drop buffer samples no future window can cover (with step >
+        # window the next start can lie beyond the stream — clamp so the
+        # buffer stays aligned with samples_seen).
+        keep_from = min(self.n_windows * self.step, self.samples_seen)
+        if keep_from > self._buffer_start:
+            self._buffer = self._buffer[keep_from - self._buffer_start :]
+            self._buffer_start = keep_from
+        return out

@@ -18,11 +18,23 @@ __all__ = ["extract_embeddings", "SimilarityIndex", "cluster_embeddings"]
 
 
 def extract_embeddings(model, dataset: ArrayDataset, batch_size: int = 32) -> np.ndarray:
-    """Series-level embeddings for every row of ``dataset`` (no grad)."""
+    """Series-level embeddings for every row of ``dataset`` (no grad).
+
+    RITA models route through :class:`repro.serve.InferenceEngine` (the
+    non-deprecated serving surface); baselines with their own ``embed``
+    (e.g. TST) are called directly.
+    """
+    from repro.model.rita import RitaModel
+    from repro.serve.engine import InferenceEngine
+
+    if isinstance(model, RitaModel):
+        embed = InferenceEngine(model, max_batch_size=batch_size).embed
+    else:
+        embed = model.embed
     chunks = []
     for start in range(0, len(dataset), batch_size):
         batch = dataset[np.arange(start, min(start + batch_size, len(dataset)))]
-        chunks.append(model.embed(batch["x"]))
+        chunks.append(embed(batch["x"]))
     return np.concatenate(chunks)
 
 

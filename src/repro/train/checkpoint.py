@@ -2,7 +2,10 @@
 
 Serializes a module's ``state_dict`` (plus arbitrary JSON-compatible
 metadata) to a single ``.npz`` file.  Used to hand pretrained encoders to
-finetuning runs and to resume interrupted training.
+finetuning runs and to resume interrupted training.  The frozen
+*inference* bundle — config + weights + dtype, loadable without the
+training stack — is :class:`repro.serve.ModelArtifact`, which shares this
+file format's core via :mod:`repro.serialize`.
 
 Resuming *correctly* needs more than weights: Adam's first/second moments,
 its bias-correction step count, and the scheduler epoch all shape the next
@@ -11,30 +14,43 @@ update.  Pass ``optimizer=`` / ``scheduler=`` to both
 reproduces the uninterrupted run exactly (tested in
 ``tests/train/test_resume.py``); omitting them restores weights only, as
 before.
+
+Checkpoints carry a format version.  :func:`load_checkpoint` raises
+:class:`~repro.errors.ConfigError` — never ``KeyError`` or silent
+garbage — on a version newer than this build, corrupt JSON payloads,
+missing/unexpected parameters, or shape mismatches.  Unversioned files
+from older builds still load (version 0).
 """
 
 from __future__ import annotations
-
-import json
-import pathlib
 
 import numpy as np
 
 from repro.errors import ConfigError
 from repro.nn.module import Module
+from repro.serialize import (
+    check_format_version,
+    decode_json,
+    encode_json,
+    open_archive,
+    read_format_version,
+    saved_npz_path,
+)
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["save_checkpoint", "load_checkpoint", "CHECKPOINT_FORMAT_VERSION"]
+
+#: Bump when the on-disk layout changes incompatibly.  Version 1 added the
+#: explicit version key; version-0 files (pre-versioning) still load.
+CHECKPOINT_FORMAT_VERSION = 1
 
 _METADATA_KEY = "__checkpoint_metadata__"
 #: JSON blob holding optimizer scalars and the scheduler state.
 _TRAIN_STATE_KEY = "__train_state__"
+#: Integer format version of the bundle.
+_VERSION_KEY = "__checkpoint_format__"
 #: Prefix for optimizer accumulator arrays: ``__optim__/<param_idx>/<name>``.
 _OPTIM_PREFIX = "__optim__/"
-_RESERVED = (_METADATA_KEY, _TRAIN_STATE_KEY, _OPTIM_PREFIX)
-
-
-def _encode_json(payload: dict) -> np.ndarray:
-    return np.frombuffer(json.dumps(payload).encode("utf-8"), dtype=np.uint8)
+_RESERVED = (_METADATA_KEY, _TRAIN_STATE_KEY, _VERSION_KEY, _OPTIM_PREFIX)
 
 
 def save_checkpoint(
@@ -43,15 +59,18 @@ def save_checkpoint(
     metadata: dict | None = None,
     optimizer=None,
     scheduler=None,
-) -> None:
+):
     """Write the model's parameters (and optional training state) to ``path``.
+
+    Returns the path actually written (``.npz`` appended when missing).
 
     Parameters
     ----------
     model:
         Any :class:`~repro.nn.Module`.
     path:
-        Target file; ``.npz`` is appended by NumPy when missing.
+        Target file; ``.npz`` is appended by NumPy when missing — ship
+        the returned path.
     metadata:
         JSON-serializable dict stored alongside the weights (e.g. epoch,
         config fields, metrics).
@@ -64,13 +83,13 @@ def save_checkpoint(
         the schedule epoch so resumed warmup/decay picks up where it left
         off.
     """
-    path = pathlib.Path(path)
     state = model.state_dict()
     for name in state:
         if name.startswith(_RESERVED):
             raise ConfigError(f"parameter name {name!r} collides with a reserved key")
     payload = dict(state)
-    payload[_METADATA_KEY] = _encode_json(metadata or {})
+    payload[_METADATA_KEY] = encode_json(metadata or {})
+    payload[_VERSION_KEY] = np.asarray(CHECKPOINT_FORMAT_VERSION, dtype=np.int64)
     train_state: dict = {}
     if optimizer is not None:
         optim_state = optimizer.state_dict()
@@ -81,8 +100,10 @@ def save_checkpoint(
     if scheduler is not None:
         train_state["scheduler"] = scheduler.state_dict()
     if train_state:
-        payload[_TRAIN_STATE_KEY] = _encode_json(train_state)
-    np.savez(path, **payload)
+        payload[_TRAIN_STATE_KEY] = encode_json(train_state)
+    target = saved_npz_path(path)
+    np.savez(target, **payload)
+    return target
 
 
 def load_checkpoint(model: Module, path, optimizer=None, scheduler=None) -> dict:
@@ -90,23 +111,32 @@ def load_checkpoint(model: Module, path, optimizer=None, scheduler=None) -> dict
 
     The model architecture must match (same parameter names and shapes);
     mismatches raise :class:`~repro.errors.ConfigError` via
-    ``load_state_dict``.  Pass ``optimizer=`` / ``scheduler=`` to also
+    ``load_state_dict``, as do corrupt payloads and checkpoints written by
+    a newer format version.  Pass ``optimizer=`` / ``scheduler=`` to also
     restore training state; asking for state a checkpoint does not carry
     raises :class:`~repro.errors.ConfigError` (resuming would silently
     reset the trajectory otherwise).
     """
-    path = pathlib.Path(path)
-    if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
-        path = path.with_suffix(path.suffix + ".npz")
-    with np.load(path) as archive:
-        metadata_bytes = archive[_METADATA_KEY].tobytes() if _METADATA_KEY in archive else b"{}"
-        train_bytes = (
-            archive[_TRAIN_STATE_KEY].tobytes() if _TRAIN_STATE_KEY in archive else b"{}"
+    with open_archive(path, what="checkpoint") as archive:
+        check_format_version(
+            read_format_version(archive, _VERSION_KEY),
+            CHECKPOINT_FORMAT_VERSION,
+            what=f"checkpoint {path}",
+        )
+        metadata = (
+            decode_json(archive[_METADATA_KEY], "checkpoint metadata")
+            if _METADATA_KEY in archive
+            else {}
+        )
+        train_state = (
+            decode_json(archive[_TRAIN_STATE_KEY], "checkpoint training state")
+            if _TRAIN_STATE_KEY in archive
+            else {}
         )
         optim_arrays: dict[str, dict[str, np.ndarray]] = {}
         state = {}
         for key in archive.files:
-            if key in (_METADATA_KEY, _TRAIN_STATE_KEY):
+            if key in (_METADATA_KEY, _TRAIN_STATE_KEY, _VERSION_KEY):
                 continue
             if key.startswith(_OPTIM_PREFIX):
                 index, name = key[len(_OPTIM_PREFIX):].split("/", 1)
@@ -114,7 +144,6 @@ def load_checkpoint(model: Module, path, optimizer=None, scheduler=None) -> dict
                 continue
             state[key] = archive[key]
     model.load_state_dict(state)
-    train_state = json.loads(train_bytes.decode("utf-8"))
     if optimizer is not None:
         if "optimizer" not in train_state:
             raise ConfigError(
@@ -129,4 +158,4 @@ def load_checkpoint(model: Module, path, optimizer=None, scheduler=None) -> dict
                 "save_checkpoint(..., scheduler=...) to resume training"
             )
         scheduler.load_state_dict(train_state["scheduler"])
-    return json.loads(metadata_bytes.decode("utf-8"))
+    return metadata

@@ -29,6 +29,26 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(12345)
 
 
+@pytest.fixture
+def npz_resave():
+    """Rewrite an ``.npz`` bundle with keys dropped/replaced.
+
+    Corruption helper shared by the checkpoint- and artifact-format
+    failure-mode suites: ``npz_resave(path, out, drop=(...), key=value)``
+    returns ``out`` rewritten from ``path`` minus ``drop`` plus the
+    replacements.
+    """
+
+    def _resave(path, out, drop=(), **replace):
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files if k not in drop}
+        payload.update(replace)
+        np.savez(out, **payload)
+        return out
+
+    return _resave
+
+
 @pytest.fixture(autouse=True)
 def _seed_global():
     """Make the process-global RNG deterministic for every test."""

@@ -1,0 +1,93 @@
+"""Legacy RitaModel serving methods: warn once per process, output parity."""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+import repro
+import repro.model.rita as rita_module
+from repro.errors import ConfigError
+from repro.serve import InferenceEngine
+
+
+def make_model():
+    config = repro.RitaConfig(
+        input_channels=2, max_len=24, dim=16, n_layers=2, n_heads=2,
+        attention="vanilla", dropout=0.0, n_classes=3,
+    )
+    return repro.RitaModel(config, rng=np.random.default_rng(41)).eval()
+
+
+@pytest.fixture
+def fresh_warning_state(monkeypatch):
+    """Reset the process-wide warn-once latch for this test."""
+    monkeypatch.setattr(rita_module, "_SERVING_DEPRECATION_WARNED", False)
+
+
+class TestWarnOnce:
+    def test_single_warning_per_process(self, rng, fresh_warning_state):
+        model = make_model()
+        x = rng.standard_normal((2, 20, 2))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            model.predict(x)
+            model.predict_logits(x)
+            model.predict_series(x)
+            model.embed(x)
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert "InferenceEngine" in str(deprecations[0].message)
+
+    def test_no_warning_once_latched(self, rng):
+        model = make_model()
+        # The latch may already be set by other tests — that is the point.
+        rita_module._SERVING_DEPRECATION_WARNED = True
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            model.predict(rng.standard_normal((1, 20, 2)))
+        assert not [w for w in caught if w.category is DeprecationWarning]
+
+
+class TestShimParity:
+    """The deprecated methods must return exactly what the engine returns."""
+
+    def test_parity_with_engine(self, rng):
+        model = make_model()
+        engine = InferenceEngine(model)
+        x = rng.standard_normal((4, 20, 2))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            np.testing.assert_allclose(
+                model.predict_logits(x), engine.classify(x), atol=1e-10
+            )
+            np.testing.assert_array_equal(model.predict(x), engine.predict(x))
+            np.testing.assert_allclose(
+                model.predict_series(x), engine.reconstruct(x), atol=1e-10
+            )
+            np.testing.assert_allclose(model.embed(x), engine.embed(x), atol=1e-10)
+            np.testing.assert_allclose(
+                model.embed(x, pooling="mean"),
+                engine.embed(x, pooling="mean"),
+                atol=1e-10,
+            )
+
+    def test_chunked_shim_equals_full(self, rng):
+        model = make_model()
+        x = rng.standard_normal((5, 20, 2))
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            np.testing.assert_allclose(
+                model.predict_logits(x, batch_size=2),
+                model.predict_logits(x),
+                atol=1e-10,
+            )
+
+    def test_batch_size_validation_preserved(self, rng):
+        model = make_model()
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            with pytest.raises(ConfigError):
+                model.predict_logits(rng.standard_normal((4, 16, 2)), batch_size=0)

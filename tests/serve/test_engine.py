@@ -1,0 +1,218 @@
+"""InferenceEngine: endpoint parity with direct model calls, on both backends."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+import repro.kernels as K
+from repro.autograd.tensor import no_grad
+from repro.data import pad_ragged
+from repro.errors import ConfigError, ShapeError
+from repro.serve import InferenceEngine
+
+LENGTHS = [20, 14, 9]
+
+#: Deterministic inference configs: vanilla, plus group attention with
+#: n_groups >= n (singleton groups, Lemma 3) so the clustering RNG cannot
+#: perturb the engine-vs-model comparison.
+ATTENTIONS = ["vanilla", "group"]
+
+
+def make_model(attention="vanilla", rng_seed=11, **overrides):
+    params = dict(
+        input_channels=2, max_len=28, dim=16, n_layers=2, n_heads=2,
+        attention=attention, n_groups=64, dropout=0.0, n_classes=3,
+    )
+    params.update(overrides)
+    model = repro.RitaModel(repro.RitaConfig(**params), rng=np.random.default_rng(rng_seed))
+    for layer in model.group_attention_layers():
+        layer.warm_start = False
+    return model
+
+
+def ragged_batch(rng, lengths=LENGTHS, channels=2):
+    series = [rng.standard_normal((length, channels)) for length in lengths]
+    padded, mask = pad_ragged(series)
+    return series, padded, mask
+
+
+class TestEndpointParity:
+    """Acceptance: engine outputs == direct model calls, dense and ragged."""
+
+    @pytest.mark.parametrize("backend", ["reference", "fused"])
+    @pytest.mark.parametrize("attention", ATTENTIONS)
+    def test_dense_parity_f64(self, rng, backend, attention):
+        model = make_model(attention).eval()
+        engine = InferenceEngine(model)
+        x = rng.standard_normal((4, 24, 2))
+        with K.use_backend(backend), no_grad():
+            np.testing.assert_allclose(
+                engine.classify(x), model.classify(x).data, atol=1e-5, rtol=1e-5
+            )
+            np.testing.assert_allclose(
+                engine.reconstruct(x), model.reconstruct(x).data, atol=1e-5, rtol=1e-5
+            )
+            cls_embedding, windows = model.encode(x)
+            np.testing.assert_allclose(
+                engine.embed(x), cls_embedding.data, atol=1e-5, rtol=1e-5
+            )
+            np.testing.assert_allclose(
+                engine.embed(x, pooling="mean"),
+                model.pool_windows(windows).data,
+                atol=1e-5, rtol=1e-5,
+            )
+
+    @pytest.mark.parametrize("backend", ["reference", "fused"])
+    @pytest.mark.parametrize("attention", ATTENTIONS)
+    def test_ragged_parity_f64(self, rng, backend, attention):
+        model = make_model(attention).eval()
+        engine = InferenceEngine(model)
+        series, padded, mask = ragged_batch(rng)
+        with K.use_backend(backend), no_grad():
+            np.testing.assert_allclose(
+                engine.classify(padded, mask=mask),
+                model.classify(padded, mask=mask).data,
+                atol=1e-5, rtol=1e-5,
+            )
+            # Ragged-list form == padded+mask form == per-series solo.
+            from_list = engine.classify(series)
+            np.testing.assert_allclose(
+                from_list, engine.classify(padded, mask=mask), atol=1e-5, rtol=1e-5
+            )
+            for row, single in enumerate(series):
+                np.testing.assert_allclose(
+                    from_list[row], engine.classify(single)[0], atol=1e-5, rtol=1e-5
+                )
+
+    @pytest.mark.parametrize("backend", ["reference", "fused"])
+    @pytest.mark.parametrize("attention", ATTENTIONS)
+    def test_parity_f32(self, backend, attention):
+        with K.dtype_scope(np.float32):
+            model = make_model(attention).eval()
+            engine = InferenceEngine(model)
+            rng = np.random.default_rng(3)
+            x = rng.standard_normal((3, 24, 2)).astype(np.float32)
+            series = [rng.standard_normal((length, 2)).astype(np.float32) for length in LENGTHS]
+            padded, mask = pad_ragged(series)
+            assert engine.dtype == np.float32
+            with K.use_backend(backend), no_grad():
+                np.testing.assert_allclose(
+                    engine.classify(x), model.classify(x).data, atol=1e-4, rtol=1e-4
+                )
+                np.testing.assert_allclose(
+                    engine.embed(padded, mask=mask),
+                    model.encode(padded, mask=mask)[0].data,
+                    atol=1e-4, rtol=1e-4,
+                )
+
+    def test_single_series_is_batch_of_one(self, rng):
+        engine = InferenceEngine(make_model().eval())
+        x = rng.standard_normal((4, 20, 2))
+        np.testing.assert_allclose(
+            engine.classify(x[0]), engine.classify(x[:1]), atol=1e-10
+        )
+
+    def test_chunked_equals_full(self, rng):
+        model = make_model().eval()
+        x = rng.standard_normal((7, 20, 2))
+        full = InferenceEngine(model).classify(x)
+        chunked_engine = InferenceEngine(model, max_batch_size=3)
+        np.testing.assert_allclose(chunked_engine.classify(x), full, atol=1e-10)
+        assert chunked_engine.stats.batches_total == 3
+        assert chunked_engine.stats.requests_total == 7
+
+
+class TestForecast:
+    def test_dense_forecast_matches_manual_extension(self, rng):
+        model = make_model().eval()
+        engine = InferenceEngine(model)
+        x = rng.standard_normal((2, 16, 2))
+        horizon = 4
+        out = engine.forecast(x, horizon=horizon)
+        assert out.shape == (2, horizon, 2)
+        extended = np.concatenate(
+            [x, np.full((2, horizon, 2), model.config.mask_value)], axis=1
+        )
+        np.testing.assert_allclose(
+            out, engine.reconstruct(extended)[:, 16:, :], atol=1e-10
+        )
+
+    def test_ragged_forecast_matches_solo(self, rng):
+        model = make_model().eval()
+        engine = InferenceEngine(model)
+        series = [rng.standard_normal((length, 2)) for length in (18, 12)]
+        out = engine.forecast(series, horizon=3)
+        for row, single in enumerate(series):
+            np.testing.assert_allclose(
+                out[row], engine.forecast(single, horizon=3)[0], atol=1e-5, rtol=1e-5
+            )
+
+    def test_forecast_counted_under_its_own_endpoint(self, rng):
+        engine = InferenceEngine(make_model().eval())
+        engine.forecast(rng.standard_normal((2, 16, 2)), horizon=4)
+        assert engine.stats.by_endpoint == {"forecast": 2}
+
+    def test_forecast_guards(self, rng):
+        engine = InferenceEngine(make_model().eval())
+        x = rng.standard_normal((1, 27, 2))
+        with pytest.raises(ConfigError, match="max_len"):
+            engine.forecast(x, horizon=10)
+        with pytest.raises(ConfigError, match="horizon"):
+            engine.forecast(x, horizon=0)
+
+
+class TestSearch:
+    def test_self_match_and_exhaustive_probe(self, rng):
+        model = make_model().eval()
+        engine = InferenceEngine(model)
+        corpus = rng.standard_normal((12, 20, 2))
+        index = engine.build_index(
+            corpus, n_lists=4, n_probe=4, rng=np.random.default_rng(0)
+        )
+        assert len(index) == 12
+        results = engine.search(corpus[:3], k=1)
+        assert [ids[0] for ids, _ in results] == [0, 1, 2]
+
+    def test_search_before_index_raises(self, rng):
+        engine = InferenceEngine(make_model().eval())
+        with pytest.raises(ConfigError, match="build_index"):
+            engine.search(rng.standard_normal((1, 20, 2)))
+
+
+class TestServingHygiene:
+    def test_training_mode_restored(self, rng):
+        model = make_model().train()
+        engine = InferenceEngine(model)
+        engine.classify(rng.standard_normal((2, 20, 2)))
+        assert model.training
+
+    def test_serving_grouping_policy_applied_and_restored(self, rng):
+        model = make_model("group", n_groups=8, recluster_every=1).eval()
+        engine = InferenceEngine(model, recluster_every=6, drift_tolerance=2.0)
+        x = rng.standard_normal((2, 20, 2))
+        engine.classify(x)
+        engine.classify(x)  # identical request: zero drift, cache reuse
+        layers = model.group_attention_layers()
+        assert all(layer.recluster_every == 1 for layer in layers)
+        assert all(layer.drift_tolerance == 0.5 for layer in layers)
+        assert all(layer.reclusters_total == 1 for layer in layers)
+        assert all(layer.grouping_steps_total == 2 for layer in layers)
+
+    def test_invalid_inputs(self, rng):
+        engine = InferenceEngine(make_model().eval())
+        with pytest.raises(ConfigError, match="max_batch_size"):
+            InferenceEngine(make_model(), max_batch_size=0)
+        with pytest.raises(ConfigError, match="RitaModel or ModelArtifact"):
+            InferenceEngine(np.zeros(3))
+        with pytest.raises(ShapeError):
+            engine.classify(rng.standard_normal((2, 3, 4, 5)))
+        with pytest.raises(ConfigError, match="not both"):
+            engine.classify(
+                [rng.standard_normal((5, 2))], mask=np.ones((1, 5), dtype=bool)
+            )
+        with pytest.raises(ConfigError, match="pooling"):
+            engine.embed(rng.standard_normal((1, 8, 2)), pooling="max")
+        with pytest.raises(ShapeError, match="no series"):
+            engine.classify([])

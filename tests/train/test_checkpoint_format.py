@@ -1,0 +1,76 @@
+"""Checkpoint format hardening: versioning and ConfigError on bad bundles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ConfigError
+from repro.train import load_checkpoint, save_checkpoint
+from repro.train.checkpoint import CHECKPOINT_FORMAT_VERSION, _VERSION_KEY
+
+
+def make_model(seed=7):
+    config = repro.RitaConfig(
+        input_channels=1, max_len=12, dim=8, n_layers=1, n_heads=2,
+        attention="vanilla", dropout=0.0, n_classes=2,
+    )
+    return repro.RitaModel(config, rng=np.random.default_rng(seed))
+
+
+
+@pytest.fixture
+def saved(tmp_path):
+    path = tmp_path / "ckpt"
+    save_checkpoint(make_model(), path, metadata={"epoch": 3})
+    return path.with_suffix(".npz")
+
+
+class TestFormatVersion:
+    def test_current_version_written_and_loads(self, saved):
+        with np.load(saved) as archive:
+            assert int(archive[_VERSION_KEY]) == CHECKPOINT_FORMAT_VERSION
+        assert load_checkpoint(make_model(), saved) == {"epoch": 3}
+
+    def test_newer_version_rejected(self, saved, tmp_path, npz_resave):
+        out = npz_resave(
+            saved, tmp_path / "future.npz",
+            **{_VERSION_KEY: np.asarray(CHECKPOINT_FORMAT_VERSION + 1, dtype=np.int64)},
+        )
+        with pytest.raises(ConfigError, match="format version"):
+            load_checkpoint(make_model(), out)
+
+    def test_unversioned_legacy_checkpoint_loads(self, saved, tmp_path, npz_resave):
+        # Files written before versioning existed carry no version key.
+        out = npz_resave(saved, tmp_path / "legacy.npz", drop=(_VERSION_KEY,))
+        assert load_checkpoint(make_model(), out) == {"epoch": 3}
+
+
+class TestFailureModes:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            load_checkpoint(make_model(), tmp_path / "missing")
+
+    def test_missing_parameter_key(self, saved, tmp_path, npz_resave):
+        out = npz_resave(saved, tmp_path / "dropped.npz", drop=("cls_token",))
+        with pytest.raises(ConfigError, match="missing"):
+            load_checkpoint(make_model(), out)
+
+    def test_unexpected_parameter_key(self, saved, tmp_path, npz_resave):
+        out = npz_resave(saved, tmp_path / "extra.npz", surprise=np.zeros(3))
+        with pytest.raises(ConfigError, match="unexpected"):
+            load_checkpoint(make_model(), out)
+
+    def test_shape_mismatch(self, saved, tmp_path, npz_resave):
+        out = npz_resave(saved, tmp_path / "shape.npz", cls_token=np.zeros((1, 1, 99)))
+        with pytest.raises(ConfigError, match="shape"):
+            load_checkpoint(make_model(), out)
+
+    def test_corrupt_metadata_json(self, saved, tmp_path, npz_resave):
+        out = npz_resave(
+            saved, tmp_path / "corrupt.npz",
+            __checkpoint_metadata__=np.frombuffer(b"{oops", dtype=np.uint8),
+        )
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            load_checkpoint(make_model(), out)
