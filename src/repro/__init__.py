@@ -56,7 +56,7 @@ from repro.tasks import (
     cluster_embeddings,
     extract_embeddings,
 )
-from repro.train import History, Trainer, evaluate_task
+from repro.train import History, Trainer, evaluate_task, evaluate_task_parallel
 from repro.optim import SGD, Adam, AdamW
 from repro.data import (
     ArrayDataset,
@@ -110,6 +110,7 @@ __all__ = [
     "History",
     "Trainer",
     "evaluate_task",
+    "evaluate_task_parallel",
     "SGD",
     "Adam",
     "AdamW",

@@ -10,6 +10,12 @@ strategy.  Four pieces:
 * :mod:`repro.kernels.fused` — the optimized *fused* backend (default):
   in-place softmax/layer-norm, single-GEMM affine, sort+``reduceat``
   segment sum with scratch-buffer reuse;
+* :mod:`repro.kernels.threads` — the process-global thread policy
+  (``RITA_NUM_THREADS``, :func:`threads_scope`, the small-input serial
+  threshold);
+* :mod:`repro.kernels.parallel` — the *parallel* backend: batch-shards
+  the fused kernels across a shared thread pool (multicore execution
+  with zero call-site changes);
 * :mod:`repro.kernels.functional` — autograd nodes over the active
   backend with hand-written backwards and no-grad fast paths.
 
@@ -20,6 +26,8 @@ Typical knobs::
     K.set_default_dtype("float64")      # gradcheck-sharp numerics
     with K.use_backend("reference"):    # run on the oracle kernels
         ...
+    with K.use_backend("parallel"), K.threads_scope(4):
+        ...                             # shard kernels across 4 workers
 
 The functional ops are re-exported lazily (PEP 562): they depend on
 :mod:`repro.autograd.tensor`, which itself imports the dtype policy from
@@ -45,6 +53,15 @@ from repro.kernels.backend import (
     use_backend,
 )
 from repro.kernels.fused import FusedNumpyBackend
+from repro.kernels.threads import (
+    THREADS_ENV_VAR,
+    get_num_threads,
+    get_parallel_threshold,
+    set_num_threads,
+    set_parallel_threshold,
+    threads_scope,
+)
+from repro.kernels.parallel import ParallelNumpyBackend
 
 _FUNCTIONAL_EXPORTS = (
     "cross_entropy",
@@ -68,14 +85,21 @@ _FUNCTIONAL_EXPORTS = (
 __all__ = [
     "DTYPE_ENV_VAR",
     "BACKEND_ENV_VAR",
+    "THREADS_ENV_VAR",
     "asarray",
     "dtype_scope",
     "get_default_dtype",
     "resolve_dtype",
     "set_default_dtype",
+    "get_num_threads",
+    "set_num_threads",
+    "get_parallel_threshold",
+    "set_parallel_threshold",
+    "threads_scope",
     "KernelBackend",
     "NumpyReferenceBackend",
     "FusedNumpyBackend",
+    "ParallelNumpyBackend",
     "available_backends",
     "get_backend",
     "register_backend",

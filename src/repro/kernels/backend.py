@@ -431,8 +431,9 @@ def _ensure_initialized() -> None:
     global _ACTIVE
     if _ACTIVE is not None:
         return
-    # Import registers the fused backend; deferred to avoid an import cycle.
-    from repro.kernels import fused  # noqa: F401
+    # Imports register the fused and parallel backends; deferred to avoid
+    # an import cycle.
+    from repro.kernels import fused, parallel  # noqa: F401
 
     register_backend(NumpyReferenceBackend())
     initial = os.environ.get(BACKEND_ENV_VAR, fused.FusedNumpyBackend.name)

@@ -17,9 +17,18 @@ Same semantics as :class:`~repro.kernels.backend.NumpyReferenceBackend`
   so steady-state training allocates no per-step scratch for the
   scatter/gather pair.  Only buffers that never escape a kernel call are
   pooled; every returned array is freshly owned by the caller.
+
+The scratch pool is **per thread** (``threading.local``): the parallel
+backend and the serve layer call these kernels concurrently, and a
+process-global pool would hand two threads the same staging buffer —
+silent data corruption.  Each thread warms its own pool instead; the
+cost is one pool per long-lived worker thread, which the shared kernel
+executor keeps bounded at the configured worker count.
 """
 
 from __future__ import annotations
+
+import threading
 
 import numpy as np
 
@@ -41,27 +50,38 @@ class FusedNumpyBackend(NumpyReferenceBackend):
     name = "fused"
 
     def __init__(self) -> None:
-        self._buffers: dict[tuple, np.ndarray] = {}
+        self._local = threading.local()
 
-    # -- scratch pool -----------------------------------------------------
+    # -- scratch pool (per thread; see the module docstring) ---------------
+    @property
+    def _buffers(self) -> dict[tuple, np.ndarray]:
+        """This thread's scratch pool (created on first use per thread)."""
+        pool = getattr(self._local, "buffers", None)
+        if pool is None:
+            pool = {}
+            self._local.buffers = pool
+        return pool
+
     def _scratch(self, tag: str, shape: tuple[int, ...], dtype) -> np.ndarray:
         """A reusable uninitialized buffer; contents never escape a call."""
         key = (tag, shape, np.dtype(dtype).str)
-        buffer = self._buffers.get(key)
+        pool = self._buffers
+        buffer = pool.get(key)
         if buffer is None:
-            if len(self._buffers) >= _MAX_POOLED:
-                self._buffers.clear()
+            if len(pool) >= _MAX_POOLED:
+                pool.clear()
             buffer = np.empty(shape, dtype=dtype)
-            self._buffers[key] = buffer
+            pool[key] = buffer
         return buffer
 
     def _offsets(self, batch: int, num_segments: int) -> np.ndarray:
         """Cached ``(batch, 1)`` row offsets used to flatten batched ids."""
         key = ("offsets", batch, num_segments)
-        offsets = self._buffers.get(key)
+        pool = self._buffers
+        offsets = pool.get(key)
         if offsets is None:
             offsets = np.arange(batch, dtype=np.int64)[:, None] * num_segments
-            self._buffers[key] = offsets
+            pool[key] = offsets
         return offsets
 
     # -- softmax family ---------------------------------------------------

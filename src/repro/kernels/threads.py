@@ -1,0 +1,123 @@
+"""Process-global thread policy for the parallel kernel backend.
+
+Mirrors the dtype policy in :mod:`repro.kernels.policy`: one mutable
+process-global knob, an environment variable consulted once at import,
+and a context manager for scoped overrides.  Two settings live here:
+
+* **worker count** — how many threads the ``parallel`` backend shards
+  batched kernels across.  Initial value: ``RITA_NUM_THREADS`` when set,
+  else ``os.cpu_count()``.  A value of 1 disables sharding entirely (the
+  parallel backend degenerates to the fused serial path).
+* **shard threshold** — the minimum number of array elements a kernel
+  call must touch before sharding is considered.  Thread handoff costs a
+  few tens of microseconds per shard; small inputs (the paper's n=256
+  cells) finish faster than that, so they stay on the serial fast path
+  and the parallel backend never regresses them.  Tests lower this to 1
+  to force sharding on tiny fixtures.
+
+The knobs are read per kernel call, so :func:`threads_scope` changes
+take effect immediately — including on an already-active ``parallel``
+backend.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "THREADS_ENV_VAR",
+    "DEFAULT_PARALLEL_THRESHOLD",
+    "get_num_threads",
+    "set_num_threads",
+    "get_parallel_threshold",
+    "set_parallel_threshold",
+    "threads_scope",
+]
+
+#: Environment variable consulted once at import for the initial count.
+THREADS_ENV_VAR = "RITA_NUM_THREADS"
+
+#: Elements a kernel call must touch before the parallel backend shards
+#: it.  2**18 keeps n=256 attention cells serial while the n=1024
+#: acceptance cell (2*4*1024*64 = 2**19 score elements) shards.
+DEFAULT_PARALLEL_THRESHOLD = 1 << 18
+
+
+def _coerce_threads(value) -> int:
+    try:
+        threads = int(value)
+    except (TypeError, ValueError):
+        raise ConfigError(
+            f"invalid thread count {value!r} (use a positive integer; "
+            f"also settable via ${THREADS_ENV_VAR})"
+        ) from None
+    if threads < 1:
+        raise ConfigError(f"thread count must be >= 1, got {threads}")
+    return threads
+
+
+def _coerce_threshold(value) -> int:
+    try:
+        threshold = int(value)
+    except (TypeError, ValueError):
+        raise ConfigError(f"invalid parallel threshold {value!r} (use an integer >= 0)") from None
+    if threshold < 0:
+        raise ConfigError(f"parallel threshold must be >= 0, got {threshold}")
+    return threshold
+
+
+_NUM_THREADS: int = _coerce_threads(os.environ.get(THREADS_ENV_VAR, os.cpu_count() or 1))
+_PARALLEL_THRESHOLD: int = DEFAULT_PARALLEL_THRESHOLD
+
+
+def get_num_threads() -> int:
+    """Worker count the parallel backend shards across."""
+    return _NUM_THREADS
+
+
+def set_num_threads(threads) -> int:
+    """Set the worker count; returns the previous value."""
+    global _NUM_THREADS
+    previous = _NUM_THREADS
+    _NUM_THREADS = _coerce_threads(threads)
+    return previous
+
+
+def get_parallel_threshold() -> int:
+    """Minimum elements per kernel call before sharding is considered."""
+    return _PARALLEL_THRESHOLD
+
+
+def set_parallel_threshold(threshold) -> int:
+    """Set the shard threshold; returns the previous value."""
+    global _PARALLEL_THRESHOLD
+    previous = _PARALLEL_THRESHOLD
+    _PARALLEL_THRESHOLD = _coerce_threshold(threshold)
+    return previous
+
+
+@contextlib.contextmanager
+def threads_scope(num_threads=None, min_elements=None):
+    """Temporarily override the thread policy.
+
+    >>> with threads_scope(4):                  # shard across 4 workers
+    ...     engine.classify(big_batch)
+    >>> with threads_scope(2, min_elements=1):  # force sharding (tests)
+    ...     K.softmax(tiny, axis=-1)
+
+    Either knob may be ``None`` to leave it unchanged.
+    """
+    previous_threads = set_num_threads(num_threads) if num_threads is not None else None
+    previous_threshold = (
+        set_parallel_threshold(min_elements) if min_elements is not None else None
+    )
+    try:
+        yield get_num_threads()
+    finally:
+        if previous_threshold is not None:
+            set_parallel_threshold(previous_threshold)
+        if previous_threads is not None:
+            set_num_threads(previous_threads)

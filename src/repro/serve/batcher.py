@@ -34,6 +34,8 @@ import numpy as np
 
 from repro.data.collate import pad_collate
 from repro.errors import ConfigError, ShapeError
+from repro.kernels.parallel import run_jobs
+from repro.kernels.threads import get_num_threads
 
 __all__ = ["MicroBatcher", "PendingResult"]
 
@@ -100,6 +102,17 @@ class MicroBatcher:
         Latency budget: a submit arriving while the oldest pending
         request has waited longer than this flushes first.  ``None``
         disables the time trigger (size/manual flushes only).
+    concurrent_flush:
+        Opt-in: when one flush carves multiple batches, serve them
+        concurrently over the shared kernel thread pool
+        (``RITA_NUM_THREADS`` workers) instead of a serial loop.  The
+        endpoint must be safe to call from multiple threads — an
+        :class:`~repro.serve.engine.InferenceEngine` endpoint qualifies
+        exactly when ``engine.supports_concurrent_calls()`` is true
+        (eval mode, no group-attention layers, no serving grouping
+        policy).  Counters and handles are still updated race-free: each
+        handle belongs to exactly one batch, and the cumulative counters
+        are aggregated in the flushing thread after the jobs return.
     """
 
     def __init__(
@@ -107,6 +120,7 @@ class MicroBatcher:
         endpoint: Callable[..., np.ndarray],
         max_batch_size: int = 32,
         max_delay_s: float | None = None,
+        concurrent_flush: bool = False,
     ) -> None:
         if max_batch_size < 1:
             raise ConfigError("max_batch_size must be >= 1")
@@ -115,6 +129,7 @@ class MicroBatcher:
         self.endpoint = endpoint
         self.max_batch_size = int(max_batch_size)
         self.max_delay_s = max_delay_s
+        self.concurrent_flush = bool(concurrent_flush)
         self._lock = threading.Lock()
         self._pending: list[tuple[np.ndarray, PendingResult]] = []
         self._oldest: float | None = None
@@ -202,40 +217,63 @@ class MicroBatcher:
         # batches from the sorted order.
         lengths = np.array([series.shape[0] for series, _ in pending])
         order = np.argsort(lengths, kind="stable")
-        first_error: Exception | None = None
-        for start in range(0, len(order), self.max_batch_size):
-            chunk = [pending[i] for i in order[start : start + self.max_batch_size]]
+        chunks = [
+            [pending[i] for i in order[start : start + self.max_batch_size]]
+            for start in range(0, len(order), self.max_batch_size)
+        ]
+
+        def serve(chunk):
+            # Outcome tuple instead of raising: a job's exception must be
+            # routed to *its* handles, not abort sibling batches.
             try:
-                self._serve_chunk(chunk)
+                return ("ok", self._serve_chunk(chunk))
             except Exception as exc:  # noqa: BLE001 - forwarded to every handle
+                return ("err", exc)
+
+        if self.concurrent_flush and len(chunks) > 1 and get_num_threads() > 1:
+            outcomes = run_jobs(lambda c=c: serve(c) for c in chunks)
+        else:
+            outcomes = [serve(chunk) for chunk in chunks]
+        first_error: Exception | None = None
+        for chunk, (status, payload) in zip(chunks, outcomes):
+            if status == "err":
                 # One bad batch must not orphan its siblings: its handles
                 # carry the error (result() re-raises) and the remaining
-                # chunks still get served.
+                # chunks were still served.
                 for _, handle in chunk:
-                    handle._fail(exc)
+                    handle._fail(payload)
                 if first_error is None:
-                    first_error = exc
+                    first_error = payload
+            else:
+                self.batches_total += 1
+                self.padded_rows_total += payload
         self.requests_total += len(pending)
         if first_error is not None:
             raise first_error
         return len(pending)
 
-    def _serve_chunk(self, chunk: list[tuple[np.ndarray, PendingResult]]) -> None:
+    def _serve_chunk(self, chunk: list[tuple[np.ndarray, PendingResult]]) -> int:
+        """Serve one carved batch; returns how many rows needed padding.
+
+        Counter updates happen in the caller (``_flush_locked``) so this
+        method stays safe to run on a pool worker under
+        ``concurrent_flush`` — each handle is resolved by exactly one job.
+        """
         series = [item for item, _ in chunk]
         padded_length = None
+        padded_rows = 0
         if len({item.shape[0] for item in series}) == 1:
             out = self.endpoint(np.stack(series))  # dense hot path, no mask
         else:
             batch = pad_collate({"x": series})
             out = self.endpoint(batch["x"], mask=batch["mask"])
             padded_length = batch["x"].shape[1]
-            self.padded_rows_total += len(series)
+            padded_rows = len(series)
         if len(out) != len(chunk):
             raise ShapeError(
                 f"endpoint returned {len(out)} rows for a {len(chunk)}-request batch; "
                 "micro-batching needs row-aligned endpoints"
             )
-        self.batches_total += 1
         # Per-timestep outputs (reconstruct-shaped: (B, L_padded, ...))
         # are trimmed back to each request's own length, so a padded
         # bucket returns exactly what solo serving would.  Requiring a
@@ -245,3 +283,4 @@ class MicroBatcher:
         trim = padded_length is not None and out.ndim >= 3 and out.shape[1] == padded_length
         for (item, handle), row in zip(chunk, out):
             handle._resolve(row[: item.shape[0]] if trim else row)
+        return padded_rows

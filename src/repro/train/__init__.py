@@ -2,6 +2,7 @@
 
 from repro.train.metrics import accuracy, macro_f1, mae, mse
 from repro.train.trainer import EpochStats, History, Trainer, evaluate_task
+from repro.train.parallel_eval import evaluate_task_parallel
 from repro.train.checkpoint import load_checkpoint, save_checkpoint
 from repro.train.callbacks import EarlyStopping
 
@@ -14,6 +15,7 @@ __all__ = [
     "History",
     "Trainer",
     "evaluate_task",
+    "evaluate_task_parallel",
     "load_checkpoint",
     "save_checkpoint",
     "EarlyStopping",

@@ -1,0 +1,201 @@
+"""Process-parallel ``evaluate_task`` over shared-memory datasets.
+
+Thread-level sharding (:mod:`repro.kernels.parallel`) wins inside a
+single forward because NumPy releases the GIL in its inner loops — but a
+benchmark sweep or a full-validation evaluation is *embarrassingly*
+parallel at the batch level, and separate processes sidestep both the
+GIL and any per-process BLAS thread contention.  This module is the
+opt-in multiprocessing path for that regime:
+
+* the model travels as a :class:`~repro.serve.artifact.ModelArtifact`
+  (plain picklable data — config, weights, dtype), rebuilt once per
+  worker;
+* dataset arrays are published through
+  :class:`multiprocessing.shared_memory.SharedMemory` so workers map
+  them read-only instead of pickling gigabytes through a pipe;
+* work is sharded by **whole batches**: worker *w* evaluates a
+  contiguous range of batch indices, returns per-batch metric dicts, and
+  the parent re-accumulates them **in batch order** — the exact float
+  additions the serial :func:`~repro.train.trainer.evaluate_task` loop
+  performs, so a deterministic model gives bitwise-identical summaries;
+* worker RNGs derive from ``default_rng([seed, worker_index])`` — the
+  spawn-safe deterministic seeding contract: re-running with the same
+  seed and worker count reproduces stochastic models (group attention's
+  K-means init) exactly.
+
+Workers always use the ``spawn`` start method (fork would duplicate the
+parent's thread pool and BLAS state) and run their kernels
+single-threaded: process-level fan-out already owns the cores.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.data.dataset import ArrayDataset
+from repro.errors import ConfigError
+from repro.kernels.backend import get_backend
+from repro.kernels.threads import get_num_threads
+from repro.serve.artifact import ModelArtifact
+
+__all__ = ["evaluate_task_parallel"]
+
+
+def _batch_shards(num_batches: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` batch-index ranges, sizes within one."""
+    workers = min(workers, num_batches)
+    base, extra = divmod(num_batches, workers)
+    shards = []
+    start = 0
+    for index in range(workers):
+        stop = start + base + (1 if index < extra else 0)
+        shards.append((start, stop))
+        start = stop
+    return shards
+
+
+def _worker(job) -> dict[int, dict[str, float]]:
+    """Evaluate one contiguous range of batches; runs in a spawned child."""
+    (
+        worker_index,
+        artifact,
+        task,
+        descriptors,
+        n_rows,
+        batch_size,
+        batch_start,
+        batch_stop,
+        backend_name,
+        seed,
+    ) = job
+    # Imports that must happen inside the child (spawn = fresh interpreter).
+    from repro.autograd.tensor import no_grad
+    from repro.kernels.backend import set_backend
+    from repro.kernels.policy import dtype_scope
+    from repro.kernels.threads import set_num_threads
+
+    set_backend(backend_name)
+    set_num_threads(1)  # process-level fan-out owns the cores
+    segments: list[shared_memory.SharedMemory] = []
+    views: dict[str, np.ndarray] = {}
+    try:
+        for key, (name, shape, dtype_str) in descriptors.items():
+            # On Python < 3.13 this attach re-registers the segment with
+            # the resource tracker; spawn workers share the parent's
+            # tracker (a set, so the re-register is a no-op) and the
+            # parent unlinks in its finally block, so no unregister
+            # gymnastics are needed here — workers only map and close.
+            segment = shared_memory.SharedMemory(name=name)
+            segments.append(segment)
+            views[key] = np.ndarray(shape, dtype=np.dtype(dtype_str), buffer=segment.buf)
+        model = artifact.build_model(rng=np.random.default_rng([seed, worker_index]))
+        per_batch: dict[int, dict[str, float]] = {}
+        with dtype_scope(artifact.dtype), no_grad():
+            for batch_index in range(batch_start, batch_stop):
+                lo = batch_index * batch_size
+                hi = min(lo + batch_size, n_rows)
+                # Copy out of the mapping so nothing references the
+                # segment after close().
+                batch = {key: np.array(view[lo:hi]) for key, view in views.items()}
+                per_batch[batch_index] = {
+                    key: float(value) for key, value in task.evaluate(model, batch).items()
+                }
+        return per_batch
+    finally:
+        views.clear()
+        for segment in segments:
+            segment.close()
+
+
+def evaluate_task_parallel(
+    model,
+    task,
+    dataset: ArrayDataset,
+    batch_size: int = 64,
+    num_workers: int | None = None,
+    seed: int = 0,
+) -> dict[str, float]:
+    """``evaluate_task`` sharded across ``num_workers`` spawned processes.
+
+    Parameters mirror :func:`~repro.train.trainer.evaluate_task`;
+    ``model`` may be a live :class:`~repro.model.rita.RitaModel` (frozen
+    into an artifact for transport) or a
+    :class:`~repro.serve.artifact.ModelArtifact` directly.
+    ``num_workers`` defaults to the thread policy
+    (``RITA_NUM_THREADS``); ``seed`` drives the deterministic per-worker
+    RNGs.  Dense :class:`ArrayDataset` only — ragged datasets need
+    per-item padding that shared-memory mapping cannot express.
+
+    For a deterministic model the result is **bitwise identical** to the
+    serial ``evaluate_task`` on the same artifact: sharding is aligned to
+    batch boundaries and the parent re-accumulates per-batch metrics in
+    batch order, so every float addition happens in the serial order.
+    """
+    if not isinstance(dataset, ArrayDataset):
+        raise ConfigError(
+            "evaluate_task_parallel needs a dense ArrayDataset; got "
+            f"{type(dataset).__name__}"
+        )
+    if batch_size < 1:
+        raise ConfigError("batch_size must be >= 1")
+    artifact = model if isinstance(model, ModelArtifact) else ModelArtifact.from_model(model)
+    workers = get_num_threads() if num_workers is None else int(num_workers)
+    if workers < 1:
+        raise ConfigError("num_workers must be >= 1")
+    n_rows = len(dataset)
+    num_batches = math.ceil(n_rows / batch_size)
+    backend_name = get_backend().name
+
+    if workers == 1 or num_batches == 1:
+        # Same accumulation loop, no processes: still evaluates the
+        # artifact's frozen model, so serial and sharded runs compare.
+        from repro.autograd.tensor import no_grad
+        from repro.kernels.policy import dtype_scope
+
+        built = artifact.build_model(rng=np.random.default_rng([seed, 0]))
+        totals: dict[str, float] = {}
+        with dtype_scope(artifact.dtype), no_grad():
+            for batch_index in range(num_batches):
+                lo = batch_index * batch_size
+                hi = min(lo + batch_size, n_rows)
+                batch = {key: value[lo:hi] for key, value in dataset.arrays.items()}
+                for key, value in task.evaluate(built, batch).items():
+                    totals[key] = totals.get(key, 0.0) + float(value)
+        return task.summarize(totals)
+
+    segments: list[shared_memory.SharedMemory] = []
+    descriptors: dict[str, tuple[str, tuple[int, ...], str]] = {}
+    try:
+        for key, array in dataset.arrays.items():
+            array = np.ascontiguousarray(array)
+            segment = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
+            np.ndarray(array.shape, dtype=array.dtype, buffer=segment.buf)[...] = array
+            segments.append(segment)
+            descriptors[key] = (segment.name, array.shape, array.dtype.str)
+        shards = _batch_shards(num_batches, workers)
+        jobs = [
+            (
+                worker_index, artifact, task, descriptors,
+                n_rows, batch_size, batch_start, batch_stop, backend_name, seed,
+            )
+            for worker_index, (batch_start, batch_stop) in enumerate(shards)
+        ]
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=len(shards)) as pool:
+            results = pool.map(_worker, jobs)
+        per_batch: dict[int, dict[str, float]] = {}
+        for chunk in results:
+            per_batch.update(chunk)
+        totals = {}
+        for batch_index in range(num_batches):
+            for key, value in per_batch[batch_index].items():
+                totals[key] = totals.get(key, 0.0) + value
+        return task.summarize(totals)
+    finally:
+        for segment in segments:
+            segment.close()
+            segment.unlink()

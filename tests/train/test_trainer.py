@@ -58,6 +58,26 @@ class TestTrainerFit:
         assert len(history.epochs) == 2
         assert "accuracy" in history.final.val_metrics
         assert history.final.seconds > 0
+
+    def test_parallel_backend_records_dispatch_stats(self, setup, rng):
+        import repro.kernels as K
+
+        model, train, val = setup
+        trainer = Trainer(model, ClassificationTask(), repro.AdamW(model.parameters(), lr=1e-3))
+        with K.use_backend("parallel"), K.threads_scope(2, min_elements=1):
+            history = trainer.fit(train, epochs=1, batch_size=8, rng=rng)
+        stats = history.final.parallel
+        assert stats["num_threads"] == 2.0
+        assert stats["kernel_calls"] > 0
+        assert stats["sharded_calls"] > 0
+        assert stats["shards"] >= 2 * stats["sharded_calls"] - 1e-9
+        assert 0.0 < stats["sharded_fraction"] <= 1.0
+
+    def test_fused_backend_leaves_parallel_stats_empty(self, setup, rng):
+        model, train, val = setup
+        trainer = Trainer(model, ClassificationTask(), repro.AdamW(model.parameters(), lr=1e-3))
+        history = trainer.fit(train, epochs=1, batch_size=8, rng=rng)
+        assert history.final.parallel == {}
         assert history.final.mean_groups == pytest.approx(4.0)
 
     def test_training_reduces_loss(self, setup, rng):
