@@ -34,10 +34,16 @@ Quickstart::
 from repro.rng import seed_all, get_rng, spawn_rng
 from repro.errors import (
     ConfigError,
+    DeadlineExceededError,
     GradError,
+    IntegrityError,
+    OverloadError,
     ReproError,
+    RequestError,
+    ServingError,
     ShapeError,
     SimulatedOOMError,
+    WorkerCrashError,
 )
 from repro.autograd import Tensor, no_grad
 from repro.model import RitaConfig, RitaModel, TimeAwareConvolution
@@ -72,10 +78,13 @@ from repro.data import (
 )
 from repro.baselines import GrailClassifier, TSTConfig, TSTModel
 from repro.serve import (
+    ChaosSchedule,
     InferenceEngine,
     MicroBatcher,
     ModelArtifact,
+    Router,
     StreamingSession,
+    WorkerPool,
 )
 
 __version__ = "1.0.0"
@@ -85,10 +94,16 @@ __all__ = [
     "get_rng",
     "spawn_rng",
     "ConfigError",
+    "DeadlineExceededError",
     "GradError",
+    "IntegrityError",
+    "OverloadError",
     "ReproError",
+    "RequestError",
+    "ServingError",
     "ShapeError",
     "SimulatedOOMError",
+    "WorkerCrashError",
     "Tensor",
     "no_grad",
     "RitaConfig",
@@ -127,9 +142,12 @@ __all__ = [
     "GrailClassifier",
     "TSTConfig",
     "TSTModel",
+    "ChaosSchedule",
     "InferenceEngine",
     "MicroBatcher",
     "ModelArtifact",
+    "Router",
     "StreamingSession",
+    "WorkerPool",
     "__version__",
 ]

@@ -23,6 +23,7 @@ Design notes
 from __future__ import annotations
 
 import contextlib
+import threading
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -45,6 +46,8 @@ __all__ = [
 ]
 
 _GRAD_ENABLED = True
+_NO_GRAD_DEPTH = 0
+_GRAD_MODE_LOCK = threading.Lock()
 
 
 @contextlib.contextmanager
@@ -54,14 +57,25 @@ def no_grad():
     Inside the block every produced tensor has ``requires_grad=False`` and
     no backward closures are created, which saves time and memory during
     evaluation, clustering, and data preparation.
+
+    Grad mode is process-global (concurrent serving threads deliberately
+    inherit it — see ``InferenceEngine``), so the blocks are counted
+    rather than saved/restored: grad stays disabled while *any* thread is
+    inside one, and re-enables only when the last block exits.  A
+    save/restore pair racing another thread's could restore the stale
+    ``False`` and leave grad disabled forever.
     """
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    global _GRAD_ENABLED, _NO_GRAD_DEPTH
+    with _GRAD_MODE_LOCK:
+        _NO_GRAD_DEPTH += 1
+        _GRAD_ENABLED = False
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        with _GRAD_MODE_LOCK:
+            _NO_GRAD_DEPTH -= 1
+            if _NO_GRAD_DEPTH == 0:
+                _GRAD_ENABLED = True
 
 
 def is_grad_enabled() -> bool:

@@ -23,6 +23,66 @@ class GradError(ReproError, RuntimeError):
     """Backward pass requested on a tensor that does not support it."""
 
 
+class RequestError(ReproError, ValueError):
+    """An inference request payload is invalid (e.g. non-finite values).
+
+    Shape problems raise :class:`ShapeError`; this class covers payloads
+    whose shape is fine but whose *content* cannot be served — NaN/inf
+    series would silently propagate garbage through every kernel, so the
+    serving tier rejects them at admission instead.
+    """
+
+
+class ServingError(ReproError, RuntimeError):
+    """Base class for serving-tier failures (deadlines, overload, workers).
+
+    Every error the replicated serving stack (:mod:`repro.serve`) raises
+    on a *request path* derives from this class, so callers can treat
+    "the serving tier failed this request" uniformly while still
+    matching the precise failure mode.  All subclasses take a single
+    message argument, keeping them picklable across the worker-process
+    response queue.
+    """
+
+
+class DeadlineExceededError(ServingError, TimeoutError):
+    """A request (or a wait on its result) ran past its deadline.
+
+    Raised instead of blocking forever: by
+    :meth:`~repro.serve.batcher.PendingResult.result` and
+    :meth:`~repro.serve.router.ClusterFuture.result` when a timed wait
+    expires, and by deadline checks inside the engine/workers
+    (:mod:`repro.serve.deadlines`) so an expired request stops consuming
+    compute mid-flight.
+    """
+
+
+class OverloadError(ServingError):
+    """The serving tier shed this request at admission (queue full).
+
+    Load shedding is deliberate: a bounded queue that rejects fast keeps
+    tail latency honest for admitted traffic, where an unbounded queue
+    would accept everything and let every request time out.
+    """
+
+
+class WorkerCrashError(ServingError):
+    """A worker process died (or was declared dead) serving a request.
+
+    Surfaces only after recovery is exhausted: the router re-dispatches
+    in-flight requests of a crashed worker to surviving workers first and
+    raises this only when the bounded redelivery budget runs out.
+    """
+
+
+class IntegrityError(ServingError):
+    """A worker reply failed its checksum — the payload was corrupted.
+
+    Corrupt replies are treated like a worker failure: the request is
+    re-dispatched (bounded) rather than handing the caller bad data.
+    """
+
+
 class SimulatedOOMError(ReproError, MemoryError):
     """The simulated GPU ran out of memory.
 

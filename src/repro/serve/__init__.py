@@ -11,14 +11,28 @@ The serving stack, layered bottom-up:
 * :class:`MicroBatcher` — coalesces concurrent per-request calls into
   length-bucketed padded batches under a size/latency budget;
 * :class:`StreamingSession` — append-only sliding-window inference that
-  encodes only windows covering new timesteps.
+  encodes only windows covering new timesteps;
+* :class:`WorkerPool` / :class:`Router` — the fault-tolerant replicated
+  tier: supervised worker processes (heartbeats, crash detection,
+  respawn) behind a router with per-request deadlines, bounded-retry
+  re-dispatch, admission control and a circuit breaker that degrades to
+  serial in-process serving;
+* :class:`ChaosSchedule` — deterministic fault injection for the
+  resilience suite and ``benchmarks/bench_resilience.py``;
+* :mod:`repro.serve.deadlines` — per-request deadlines that propagate
+  into chunked engine execution and across worker processes.
 
-See the README "Serving" section and ``examples/serving.py``.
+See the README "Serving" and "Reliability" sections and
+``examples/serving.py``.
 """
 
 from repro.serve.artifact import ARTIFACT_FORMAT_VERSION, ModelArtifact
 from repro.serve.batcher import MicroBatcher, PendingResult
+from repro.serve.chaos import ChaosSchedule
+from repro.serve.cluster import PoolStats, WorkerPool
+from repro.serve.deadlines import Deadline, check_deadline, current_deadline, deadline_scope
 from repro.serve.engine import EngineStats, InferenceEngine
+from repro.serve.router import ROUTABLE_ENDPOINTS, ClusterFuture, Router, RouterStats
 from repro.serve.streaming import StreamingSession
 
 __all__ = [
@@ -29,4 +43,15 @@ __all__ = [
     "EngineStats",
     "InferenceEngine",
     "StreamingSession",
+    "ChaosSchedule",
+    "WorkerPool",
+    "PoolStats",
+    "Router",
+    "RouterStats",
+    "ClusterFuture",
+    "ROUTABLE_ENDPOINTS",
+    "Deadline",
+    "deadline_scope",
+    "current_deadline",
+    "check_deadline",
 ]

@@ -33,7 +33,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.data.collate import pad_collate
-from repro.errors import ConfigError, ShapeError
+from repro.errors import ConfigError, DeadlineExceededError, OverloadError, ShapeError
 from repro.kernels.parallel import run_jobs
 from repro.kernels.threads import get_num_threads
 
@@ -43,18 +43,19 @@ __all__ = ["MicroBatcher", "PendingResult"]
 class PendingResult:
     """Future-like handle for one submitted request."""
 
-    __slots__ = ("_batcher", "_value", "_error", "_done")
+    __slots__ = ("_batcher", "_value", "_error", "_done", "_event")
 
     def __init__(self, batcher: "MicroBatcher") -> None:
         self._batcher = batcher
         self._value: np.ndarray | None = None
         self._error: Exception | None = None
         self._done = False
+        self._event = threading.Event()
 
     def done(self) -> bool:
         return self._done
 
-    def result(self) -> np.ndarray:
+    def result(self, timeout: float | None = None) -> np.ndarray:
         """The endpoint output row; flushes the batcher when still pending.
 
         Re-raises the endpoint's exception when *this request's* batch
@@ -62,28 +63,70 @@ class PendingResult:
         silently dropping their requests.  A sibling batch failing in the
         same flush does not poison this handle — its own callers get the
         error.
+
+        ``timeout`` bounds the wait: when the handle has not resolved
+        within ``timeout`` seconds — another thread holds the batcher
+        mid-flush, or a concurrent flush wedges — the call raises
+        :class:`~repro.errors.DeadlineExceededError` instead of blocking
+        forever.  A flush failure during the timed wait still lands on
+        the affected handles (this one re-raises its own error; a
+        sibling's error never leaks here).
         """
         if not self._done:
-            try:
-                self._batcher.flush()
-            except Exception:
-                if not self._done:
-                    raise
-                # This handle resolved or recorded its own error during
-                # the flush; that outcome — not a sibling's — decides.
+            if timeout is None:
+                try:
+                    self._batcher.flush()
+                except Exception:
+                    if not self._done:
+                        raise
+                    # This handle resolved or recorded its own error during
+                    # the flush; that outcome — not a sibling's — decides.
+            else:
+                self._wait(timeout)
         if not self._done:  # pragma: no cover - flush always drains
             raise ConfigError("request still pending after flush")
         if self._error is not None:
             raise self._error
         return self._value
 
+    def _wait(self, timeout: float) -> None:
+        """Timed resolution: flush if the lock frees in time, else wait.
+
+        The flush runs in this thread only when the batcher lock is
+        acquired within the budget; otherwise whoever holds it is already
+        flushing and this thread just waits on the event for the rest of
+        the budget.  Either way the call returns (resolved or not) within
+        ``timeout`` — ``result`` turns "not resolved" into
+        :class:`DeadlineExceededError`.
+        """
+        budget = max(0.0, float(timeout))
+        deadline = time.monotonic() + budget
+        if self._batcher._lock.acquire(timeout=budget):
+            try:
+                if not self._done:
+                    try:
+                        self._batcher._flush_locked()
+                    except Exception:
+                        if not self._done:
+                            raise
+            finally:
+                self._batcher._lock.release()
+        if not self._done:
+            self._event.wait(max(0.0, deadline - time.monotonic()))
+        if not self._done:
+            raise DeadlineExceededError(
+                f"request still pending after a {timeout:.3f}s wait"
+            )
+
     def _resolve(self, value: np.ndarray) -> None:
         self._value = value
         self._done = True
+        self._event.set()
 
     def _fail(self, error: Exception) -> None:
         self._error = error
         self._done = True
+        self._event.set()
 
 
 class MicroBatcher:
@@ -102,6 +145,13 @@ class MicroBatcher:
         Latency budget: a submit arriving while the oldest pending
         request has waited longer than this flushes first.  ``None``
         disables the time trigger (size/manual flushes only).
+    max_queue:
+        Admission control: upper bound on queued (unflushed) requests.
+        A submit that would exceed it is **shed** with a typed
+        :class:`~repro.errors.OverloadError` (and counted in
+        ``shed_total``) instead of growing the queue without bound —
+        rejecting fast at admission keeps the latency of admitted
+        requests honest.  ``None`` (default) keeps the queue unbounded.
     concurrent_flush:
         Opt-in: when one flush carves multiple batches, serve them
         concurrently over the shared kernel thread pool
@@ -121,14 +171,18 @@ class MicroBatcher:
         max_batch_size: int = 32,
         max_delay_s: float | None = None,
         concurrent_flush: bool = False,
+        max_queue: int | None = None,
     ) -> None:
         if max_batch_size < 1:
             raise ConfigError("max_batch_size must be >= 1")
         if max_delay_s is not None and max_delay_s < 0:
             raise ConfigError("max_delay_s must be >= 0 or None")
+        if max_queue is not None and max_queue < 1:
+            raise ConfigError("max_queue must be >= 1 or None")
         self.endpoint = endpoint
         self.max_batch_size = int(max_batch_size)
         self.max_delay_s = max_delay_s
+        self.max_queue = None if max_queue is None else int(max_queue)
         self.concurrent_flush = bool(concurrent_flush)
         self._lock = threading.Lock()
         self._pending: list[tuple[np.ndarray, PendingResult]] = []
@@ -139,6 +193,7 @@ class MicroBatcher:
         self.batches_total = 0
         self.flushes_total = 0
         self.padded_rows_total = 0
+        self.shed_total = 0
 
     def __enter__(self) -> "MicroBatcher":
         return self
@@ -170,6 +225,12 @@ class MicroBatcher:
                     f"this batcher serves {self._channels}-channel series, "
                     f"got {arr.shape[1]} channels"
                 )
+            if self.max_queue is not None and len(self._pending) >= self.max_queue:
+                self.shed_total += 1
+                raise OverloadError(
+                    f"queue full ({len(self._pending)} pending, "
+                    f"max_queue={self.max_queue}); request shed"
+                )
             overdue = (
                 self.max_delay_s is not None
                 and self._oldest is not None
@@ -193,17 +254,30 @@ class MicroBatcher:
         with self._lock:
             return self._flush_locked()
 
-    def map(self, requests: Sequence[np.ndarray]) -> list[np.ndarray]:
+    def map(
+        self, requests: Sequence[np.ndarray], timeout: float | None = None
+    ) -> list[np.ndarray]:
         """Serve a whole request burst; results come back in submit order.
 
         Submits with the size trigger deferred, so the length bucketing
         sorts across the entire burst before carving batches — mixed
         lengths that arrive interleaved still end up in dense same-length
         batches whenever the multiset of lengths allows it.
+
+        ``timeout`` is one deadline for the whole burst (not per
+        request): every ``result`` wait draws on the same remaining
+        budget, and an exhausted budget raises
+        :class:`~repro.errors.DeadlineExceededError`.
         """
         handles = [self.submit(series, auto_flush=False) for series in requests]
-        self.flush()
-        return [handle.result() for handle in handles]
+        if timeout is None:
+            self.flush()
+            return [handle.result() for handle in handles]
+        deadline = time.monotonic() + max(0.0, float(timeout))
+        return [
+            handle.result(timeout=max(0.0, deadline - time.monotonic()))
+            for handle in handles
+        ]
 
     # ------------------------------------------------------------------
     def _flush_locked(self) -> int:

@@ -1,0 +1,129 @@
+"""Deterministic fault injection for the replicated serving tier.
+
+The cluster's failure handling (supervision, re-dispatch, deadlines,
+checksums, the circuit breaker) is only trustworthy if it is *tested
+against real failures* — and real failures must be reproducible, or the
+resilience suite flakes and the availability numbers in
+``BENCH_resilience.json`` mean nothing.  This module is the seeded fault
+plan both use:
+
+* a :class:`ChaosSchedule` is plain picklable data shipped to every
+  worker process alongside the model artifact;
+* every injection decision is a pure function of
+  ``(seed, worker_id, generation, request_seq)`` — an independent
+  ``default_rng`` stream per decision point — so a schedule replays
+  identically regardless of thread/process timing;
+* faults are keyed to a worker **incarnation** (``generation``): a
+  respawned worker (generation + 1) starts clean, which is what lets
+  kill-schedules test recovery instead of flapping forever.
+
+Fault kinds (all off by default — a default schedule is a no-op):
+
+=====================  ==============================================
+``kills``              kill worker ``w`` (hard ``os._exit``) just
+                       before it serves its ``k``-th request — the
+                       request is left in flight, forcing re-dispatch
+``delay_rate/delay_s`` deliver the reply ``delay_s`` late, without
+                       blocking the worker's queue (a slow reply in
+                       transit); drives per-attempt timeout + retries
+``corrupt_rate``       flip a byte of the reply payload *after* the
+                       checksum is computed (corruption in transit);
+                       the router must detect and re-dispatch
+``drop_heartbeats``    suppress a worker incarnation's heartbeats so
+                       the supervisor declares it dead and respawns it
+=====================  ==============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = ["ChaosSchedule"]
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A seeded, picklable fault plan applied inside worker processes.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for every per-decision RNG stream.
+    kills:
+        ``{worker_id: (generation, request_seq)}`` — that worker
+        incarnation hard-exits immediately before serving its
+        ``request_seq``-th request (0-based count of requests it has
+        dequeued).
+    delay_rate, delay_s:
+        Each reply is delivered ``delay_s`` seconds late with
+        probability ``delay_rate`` (decided per
+        ``(worker, generation, seq)``); the worker keeps serving its
+        queue while the reply is in flight.
+    corrupt_rate:
+        Each reply payload is corrupted after its checksum is computed
+        with probability ``corrupt_rate``.
+    drop_heartbeats:
+        ``{worker_id: generation}`` — that incarnation never sends a
+        heartbeat (its compute still works; the supervisor must notice
+        via heartbeat timeout and replace it).
+    """
+
+    seed: int = 0
+    kills: dict = field(default_factory=dict)
+    delay_rate: float = 0.0
+    delay_s: float = 0.0
+    corrupt_rate: float = 0.0
+    drop_heartbeats: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in ("delay_rate", "corrupt_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {rate}")
+        if self.delay_s < 0:
+            raise ConfigError(f"delay_s must be >= 0, got {self.delay_s}")
+        if self.delay_rate > 0 and self.delay_s == 0:
+            raise ConfigError("delay_rate > 0 needs a positive delay_s")
+
+    # ------------------------------------------------------------------
+    def _draw(self, kind: int, worker_id: int, generation: int, seq: int) -> float:
+        """One uniform draw, fully determined by the decision point."""
+        rng = np.random.default_rng([self.seed, kind, worker_id, generation, seq])
+        return float(rng.random())
+
+    def should_kill(self, worker_id: int, generation: int, seq: int) -> bool:
+        """True when this incarnation dies before serving request ``seq``."""
+        planned = self.kills.get(worker_id)
+        return planned is not None and tuple(planned) == (generation, seq)
+
+    def delay_for(self, worker_id: int, generation: int, seq: int) -> float:
+        """How late the reply to request ``seq`` is delivered (0 = on time)."""
+        if self.delay_rate <= 0.0:
+            return 0.0
+        if self._draw(1, worker_id, generation, seq) < self.delay_rate:
+            return self.delay_s
+        return 0.0
+
+    def should_corrupt(self, worker_id: int, generation: int, seq: int) -> bool:
+        """True when the reply to request ``seq`` is corrupted in transit."""
+        return (
+            self.corrupt_rate > 0.0
+            and self._draw(2, worker_id, generation, seq) < self.corrupt_rate
+        )
+
+    def drops_heartbeat(self, worker_id: int, generation: int) -> bool:
+        """True when this incarnation's heartbeats are suppressed."""
+        return self.drop_heartbeats.get(worker_id) == generation
+
+    def corrupt(self, payload: np.ndarray) -> np.ndarray:
+        """Flip one byte of a copy of ``payload`` (never in place)."""
+        corrupted = np.array(payload, copy=True)
+        if corrupted.nbytes == 0:  # pragma: no cover - degenerate payload
+            return corrupted
+        view = corrupted.view(np.uint8).reshape(-1)
+        view[len(view) // 2] ^= 0xFF
+        return corrupted

@@ -1,0 +1,110 @@
+"""Per-request deadlines that propagate into the compute stack.
+
+A deadline is an absolute point on the monotonic clock; everything the
+serving tier does on behalf of one request — batching, chunked engine
+execution, worker-side forwards — happens under a thread-local
+:class:`Deadline` installed with :func:`deadline_scope`.  Layers that do
+divisible work (the engine's ``max_batch_size`` chunk loop, a worker
+draining its queue) call :func:`check_deadline` between units, so an
+expired request **fails fast with** :class:`~repro.errors.DeadlineExceededError`
+instead of burning compute on an answer nobody is waiting for.
+
+The scope is thread-local, not process-global: concurrent requests on
+different threads each carry their own deadline, and code outside any
+scope (training, tests, ad-hoc calls) sees no deadline at all —
+:func:`check_deadline` is then a no-op costing one attribute read.
+
+On Linux ``time.monotonic`` is ``CLOCK_MONOTONIC``, which is shared
+across processes — but the cluster never relies on that: the router
+ships each request's *remaining* seconds to the worker, which re-anchors
+its own scope locally.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+
+from repro.errors import ConfigError, DeadlineExceededError
+
+__all__ = ["Deadline", "deadline_scope", "current_deadline", "check_deadline"]
+
+
+class Deadline:
+    """An absolute expiry on the monotonic clock.
+
+    Construct with :meth:`after` (relative seconds) or an absolute
+    ``time.monotonic()`` value.  ``None`` seconds means "no deadline";
+    callers normally never see that — :func:`deadline_scope` simply
+    installs nothing.
+    """
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, expires_at: float) -> None:
+        self.expires_at = float(expires_at)
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        if seconds < 0:
+            raise ConfigError(f"deadline seconds must be >= 0, got {seconds}")
+        return cls(time.monotonic() + float(seconds))
+
+    def remaining(self) -> float:
+        """Seconds until expiry (negative once expired)."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`DeadlineExceededError` when expired."""
+        overdue = time.monotonic() - self.expires_at
+        if overdue >= 0:
+            raise DeadlineExceededError(
+                f"{what} exceeded its deadline by {overdue:.3f}s"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+_CURRENT = threading.local()
+
+
+def current_deadline() -> Deadline | None:
+    """The calling thread's active deadline, or ``None`` outside a scope."""
+    return getattr(_CURRENT, "deadline", None)
+
+
+def check_deadline(what: str = "request") -> None:
+    """Fail fast when the calling thread's deadline has expired.
+
+    No-op outside a :func:`deadline_scope` — safe to sprinkle through
+    hot loops that also serve deadline-free callers.
+    """
+    deadline = getattr(_CURRENT, "deadline", None)
+    if deadline is not None:
+        deadline.check(what)
+
+
+@contextlib.contextmanager
+def deadline_scope(seconds: float | Deadline | None):
+    """Install a deadline for the calling thread's dynamic extent.
+
+    ``seconds`` is relative (``Deadline.after``), an existing
+    :class:`Deadline` (shared across layers without re-anchoring), or
+    ``None`` for a no-op scope.  Scopes nest: the innermost wins for its
+    extent and the outer one is restored on exit.
+    """
+    if seconds is None:
+        yield None
+        return
+    deadline = seconds if isinstance(seconds, Deadline) else Deadline.after(seconds)
+    previous = getattr(_CURRENT, "deadline", None)
+    _CURRENT.deadline = deadline
+    try:
+        yield deadline
+    finally:
+        _CURRENT.deadline = previous

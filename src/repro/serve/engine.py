@@ -34,12 +34,13 @@ import numpy as np
 
 from repro.autograd.tensor import Tensor, no_grad
 from repro.data.collate import pad_ragged
-from repro.errors import ConfigError, ShapeError
+from repro.errors import ConfigError, RequestError, ShapeError
 from repro.kernels.parallel import run_jobs
 from repro.kernels.policy import dtype_scope, get_default_dtype, resolve_dtype
 from repro.kernels.threads import get_num_threads
 from repro.model.rita import RitaModel
 from repro.serve.artifact import ModelArtifact
+from repro.serve.deadlines import check_deadline
 from repro.tasks.vector_index import IVFFlatIndex
 
 __all__ = ["InferenceEngine", "EngineStats"]
@@ -204,6 +205,56 @@ class InferenceEngine:
             )
         return arr, None if mask is None else np.asarray(mask, dtype=bool)
 
+    def _validate_request(self, x: np.ndarray, mask: np.ndarray | None) -> None:
+        """Admission-time payload validation: typed errors, never garbage.
+
+        Channel mismatches fail here with a serving-level message instead
+        of surfacing from three layers down in the convolution, and
+        non-finite values are rejected outright — anywhere in the batch,
+        masked positions included.  Masking multiplies padded positions
+        by zero, and ``0 * nan`` is ``nan``: a NaN in the padded tail
+        poisons that row's *valid* outputs, so finite padding is part of
+        the request contract (the engine's own ragged-list padding is
+        zero-filled and always satisfies it).
+        """
+        del mask  # validated identically with or without one
+        expected = self.config.input_channels
+        if x.shape[-1] != expected:
+            raise ShapeError(
+                f"this engine serves {expected}-channel series, "
+                f"got {x.shape[-1]} channels"
+            )
+        finite = np.isfinite(x)
+        if not finite.all():
+            bad = int(finite.size - np.count_nonzero(finite))
+            raise RequestError(
+                f"request contains {bad} non-finite value(s); "
+                "NaN/inf series cannot be served"
+            )
+
+    def endpoint(self, name: str):
+        """The bound endpoint callable for ``name``.
+
+        The router dispatches requests by endpoint name across worker
+        processes; resolving through this method gives unknown task names
+        a typed :class:`~repro.errors.ConfigError` instead of an
+        ``AttributeError``.
+        """
+        endpoints = {
+            "classify": self.classify,
+            "predict": self.predict,
+            "embed": self.embed,
+            "reconstruct": self.reconstruct,
+            "forecast": self.forecast,
+            "search": self.search,
+        }
+        try:
+            return endpoints[name]
+        except KeyError:
+            raise ConfigError(
+                f"unknown endpoint {name!r}; expected one of {sorted(endpoints)}"
+            ) from None
+
     @contextlib.contextmanager
     def _serving(self):
         """Eval mode + no-grad + pinned dtype + serving grouping policy.
@@ -237,8 +288,17 @@ class InferenceEngine:
                 model.train()
 
     def _run(self, endpoint: str, fn, series, mask) -> np.ndarray:
-        """Chunked eval-mode execution of ``fn(series, mask) -> ndarray``."""
+        """Chunked eval-mode execution of ``fn(series, mask) -> ndarray``.
+
+        Runs under the calling thread's deadline
+        (:mod:`repro.serve.deadlines`): an expired deadline fails fast
+        before the first forward, and multi-chunk requests re-check
+        between chunks so an expired request stops mid-flight instead of
+        finishing work nobody will read.
+        """
         x, m = self._coerce_request(series, mask)
+        self._validate_request(x, m)
+        check_deadline(f"{endpoint} request")
         limit = self.max_batch_size
         with self._serving():
             if limit is None or len(x) <= limit:
@@ -248,6 +308,7 @@ class InferenceEngine:
             starts = list(range(0, len(x), limit))
 
             def chunk_job(start):
+                check_deadline(f"{endpoint} request (chunk at row {start})")
                 chunk_mask = None if m is None else m[start : start + limit]
                 return fn(x[start : start + limit], chunk_mask)
 

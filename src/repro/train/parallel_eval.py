@@ -32,12 +32,14 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
 
 import numpy as np
 
 from repro.data.dataset import ArrayDataset
-from repro.errors import ConfigError
+from repro.errors import ConfigError, WorkerCrashError
 from repro.kernels.backend import get_backend
 from repro.kernels.threads import get_num_threads
 from repro.serve.artifact import ModelArtifact
@@ -185,8 +187,22 @@ def evaluate_task_parallel(
             for worker_index, (batch_start, batch_stop) in enumerate(shards)
         ]
         context = multiprocessing.get_context("spawn")
-        with context.Pool(processes=len(shards)) as pool:
-            results = pool.map(_worker, jobs)
+        # ProcessPoolExecutor (not mp.Pool): a worker that dies mid-eval —
+        # OOM-killed, segfaulted, SIGKILLed — surfaces as BrokenProcessPool
+        # instead of hanging ``Pool.map`` forever, and the enclosing
+        # try/finally still unlinks every shared-memory segment, so a
+        # crashed run leaks neither a blocked caller nor /dev/shm blocks.
+        try:
+            with ProcessPoolExecutor(
+                max_workers=len(shards), mp_context=context
+            ) as pool:
+                results = list(pool.map(_worker, jobs))
+        except BrokenProcessPool as exc:
+            raise WorkerCrashError(
+                "a worker process died during parallel evaluation "
+                f"({len(shards)} workers over {num_batches} batches); "
+                "shared-memory segments were released"
+            ) from exc
         per_batch: dict[int, dict[str, float]] = {}
         for chunk in results:
             per_batch.update(chunk)

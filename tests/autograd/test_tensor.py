@@ -108,6 +108,40 @@ class TestBackward:
             assert not is_grad_enabled()
         assert is_grad_enabled()
 
+    def test_no_grad_nests(self):
+        with no_grad():
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_concurrent_no_grad_blocks_rebalance(self):
+        # Grad mode is process-global and depth-counted: overlapping
+        # no_grad blocks on different threads (concurrent serving) must
+        # leave grad ENABLED once the last block exits.  A save/restore
+        # implementation loses this race — thread B saves "disabled"
+        # while A is inside, restores it after A exits, and grad stays
+        # off for the rest of the process (every later backward() dies).
+        import threading
+
+        enter = threading.Barrier(8)
+        inside = threading.Barrier(8)
+
+        def serve():
+            enter.wait()
+            with no_grad():
+                inside.wait()  # all 8 threads overlap inside no_grad
+
+        threads = [threading.Thread(target=serve) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert is_grad_enabled()
+        x = Tensor(1.0, requires_grad=True)
+        (x * 2).backward()
+        assert x.grad == pytest.approx(2.0)
+
     def test_detach_cuts_graph(self):
         x = Tensor(2.0, requires_grad=True)
         y = (x * 3).detach()

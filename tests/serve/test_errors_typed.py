@@ -1,0 +1,144 @@
+"""Every engine endpoint fails malformed input with a typed ``ReproError``.
+
+The serving contract satellite: clients of :class:`InferenceEngine` (and
+of the replicated tier above it) must be able to catch ``ReproError`` at
+the API boundary and get a precise subclass — never a bare
+``ValueError`` / ``KeyError`` / ``IndexError`` escaping from three
+layers down in the compute stack.  Table-driven over every endpoint and
+both kernel backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+import repro.kernels as K
+from repro.errors import ConfigError, ReproError, RequestError, ShapeError
+
+BARE_TYPES = (ValueError, KeyError, IndexError, AttributeError, TypeError)
+
+
+@pytest.fixture(scope="module")
+def engine():
+    config = repro.RitaConfig(
+        input_channels=2, max_len=16, dim=8, n_layers=1, n_heads=2,
+        attention="vanilla", dropout=0.0, n_classes=3,
+    )
+    model = repro.RitaModel(config, rng=np.random.default_rng(3)).eval()
+    return repro.serve.InferenceEngine(model)
+
+
+def good(rng):
+    return rng.standard_normal((6, 2))
+
+
+def nan_series(rng):
+    x = rng.standard_normal((6, 2))
+    x[3, 1] = np.nan
+    return x
+
+
+def inf_batch(rng):
+    x = rng.standard_normal((2, 6, 2))
+    x[1, 0, 0] = np.inf
+    return x
+
+
+#: (case id, endpoint, request builder, expected error, message fragment)
+MALFORMED = [
+    ("wrong-channels", "classify", lambda rng: rng.standard_normal((6, 5)),
+     ShapeError, "2-channel series"),
+    ("wrong-channels-batch", "embed", lambda rng: rng.standard_normal((2, 6, 5)),
+     ShapeError, "2-channel series"),
+    ("empty-ragged", "classify", lambda rng: [],
+     ShapeError, "no series"),
+    ("ragged-bad-rank", "reconstruct", lambda rng: [rng.standard_normal(6)],
+     ShapeError, "sequence of"),
+    ("bad-rank", "classify", lambda rng: rng.standard_normal((2, 2, 6, 2)),
+     ShapeError, "expected"),
+    ("nan-series", "classify", nan_series,
+     RequestError, "non-finite"),
+    ("nan-series-reconstruct", "reconstruct", nan_series,
+     RequestError, "non-finite"),
+    ("inf-batch", "embed", inf_batch,
+     RequestError, "non-finite"),
+    ("nan-forecast", "forecast", nan_series,
+     RequestError, "non-finite"),
+]
+
+
+@pytest.mark.parametrize("backend", ["reference", "fused"])
+@pytest.mark.parametrize(
+    "endpoint,build,expected,fragment",
+    [case[1:] for case in MALFORMED],
+    ids=[case[0] for case in MALFORMED],
+)
+def test_malformed_input_raises_typed(rng, backend, endpoint, build, expected, fragment):
+    config = repro.RitaConfig(
+        input_channels=2, max_len=16, dim=8, n_layers=1, n_heads=2,
+        attention="vanilla", dropout=0.0, n_classes=3,
+    )
+    model = repro.RitaModel(config, rng=np.random.default_rng(3)).eval()
+    engine = repro.serve.InferenceEngine(model)
+    fn = engine.endpoint(endpoint)
+    kwargs = {"horizon": 3} if endpoint == "forecast" else {}
+    with K.use_backend(backend):
+        with pytest.raises(expected, match=fragment) as excinfo:
+            fn(build(rng), **kwargs)
+    # Typed at the boundary: a ReproError subclass, never a bare builtin.
+    assert isinstance(excinfo.value, ReproError)
+    assert type(excinfo.value) not in BARE_TYPES
+
+
+class TestEndpointResolution:
+    def test_unknown_endpoint_is_config_error(self, engine):
+        with pytest.raises(ConfigError, match="unknown endpoint 'transcribe'") as excinfo:
+            engine.endpoint("transcribe")
+        assert isinstance(excinfo.value, ReproError)
+        assert type(excinfo.value) is not KeyError
+
+    def test_known_endpoints_resolve_to_bound_methods(self, engine):
+        for name in ("classify", "predict", "embed", "reconstruct", "forecast", "search"):
+            assert callable(engine.endpoint(name))
+
+
+class TestArgumentValidation:
+    def test_bad_pooling_is_config_error(self, engine, rng):
+        with pytest.raises(ConfigError, match="unknown pooling"):
+            engine.embed(good(rng), pooling="max")
+
+    def test_bad_horizon_is_config_error(self, engine, rng):
+        with pytest.raises(ConfigError, match="horizon"):
+            engine.forecast(good(rng), horizon=0)
+
+    def test_search_without_index_is_config_error(self, engine, rng):
+        with pytest.raises(ConfigError, match="no index"):
+            engine.search(good(rng))
+
+    def test_mask_plus_ragged_is_config_error(self, engine, rng):
+        with pytest.raises(ConfigError, match="not both"):
+            engine.classify([good(rng)], mask=np.ones((1, 6), dtype=bool))
+
+
+class TestMaskedPadding:
+    def test_nonfinite_padding_under_mask_is_rejected(self, engine, rng):
+        """NaN is rejected even in masked-out positions: masking uses
+        multiply-by-zero, and ``0 * nan`` would poison the row's valid
+        outputs — finite padding is part of the request contract."""
+        x = rng.standard_normal((2, 8, 2))
+        mask = np.ones((2, 8), dtype=bool)
+        mask[1, 5:] = False
+        x[1, 5:] = np.nan  # invalid positions only — still rejected
+        with pytest.raises(RequestError, match="non-finite"):
+            engine.classify(x, mask=mask)
+
+    def test_finite_padding_under_mask_is_served(self, engine, rng):
+        x = rng.standard_normal((2, 8, 2))
+        mask = np.ones((2, 8), dtype=bool)
+        mask[1, 5:] = False
+        x[1, 5:] = 123.0  # arbitrary finite padding is fine
+        out = engine.classify(x, mask=mask)
+        assert out.shape == (2, 3)
+        assert np.isfinite(out).all()

@@ -1,0 +1,83 @@
+"""A worker killed mid-evaluation must fail fast and leak nothing.
+
+Before the ProcessPoolExecutor switch, a SIGKILLed worker left
+``multiprocessing.Pool.map`` blocked forever and the parent's
+shared-memory segments alive.  The contract now: the caller gets a typed
+:class:`~repro.errors.WorkerCrashError` promptly, and the ``finally``
+block unlinks every ``/dev/shm`` segment the run created.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro.data.dataset import ArrayDataset
+from repro.errors import ReproError, WorkerCrashError
+from repro.serve import ModelArtifact
+from repro.tasks import ClassificationTask
+from repro.train import evaluate_task_parallel
+
+POISON_LABEL = 7  # out-of-range class id marking the batch that kills its worker
+
+
+def make_model():
+    config = repro.RitaConfig(
+        input_channels=2, max_len=16, dim=8, n_layers=1, n_heads=2,
+        attention="vanilla", dropout=0.0, n_classes=3,
+    )
+    return repro.RitaModel(config, rng=np.random.default_rng(5))
+
+
+class KillerTask(ClassificationTask):
+    """Picklable task that SIGKILLs its own worker on the poisoned batch.
+
+    SIGKILL (not an exception, not sys.exit) is the point: it models an
+    OOM kill or segfault, which no in-process handler can catch — only
+    the executor's broken-pool detection notices.
+    """
+
+    def evaluate(self, model, batch):
+        if np.any(batch["y"] == POISON_LABEL):
+            os.kill(os.getpid(), signal.SIGKILL)
+        return super().evaluate(model, batch)
+
+
+def _shm_segments() -> set[str]:
+    try:
+        return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux fallback
+        return set()
+
+
+@pytest.mark.slow
+def test_killed_worker_raises_typed_error_and_leaks_no_shared_memory(rng):
+    dataset = ArrayDataset(
+        x=rng.standard_normal((12, 12, 2)),
+        y=rng.integers(0, 3, size=12),
+    )
+    # Poison a row in the second shard so one worker dies while the
+    # other is (or has been) evaluating normally.
+    dataset.arrays["y"][9] = POISON_LABEL
+    artifact = ModelArtifact.from_model(make_model().eval())
+
+    before = _shm_segments()
+    start = time.monotonic()
+    with pytest.raises(WorkerCrashError, match="shared-memory segments were released"):
+        evaluate_task_parallel(
+            artifact, KillerTask(), dataset, batch_size=3, num_workers=2, seed=0
+        )
+    elapsed = time.monotonic() - start
+
+    # Fail fast, never hang: generous bound that still catches a stuck
+    # Pool.map (which would block until the test-suite timeout).
+    assert elapsed < 60.0
+    leaked = _shm_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+    # The typed contract callers rely on.
+    assert issubclass(WorkerCrashError, ReproError)
