@@ -14,7 +14,6 @@ pytestmark = pytest.mark.slow
 import numpy as np
 
 import repro
-from repro.data import Scaler
 from repro.experiments import BENCH, build_model, format_table
 from repro.scheduler import BatchSizePredictor
 from repro.simgpu import MemoryModel

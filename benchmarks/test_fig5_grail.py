@@ -10,7 +10,6 @@ import pytest
 #: Full-experiment benchmark: excluded from the fast tier (-m 'not slow').
 pytestmark = pytest.mark.slow
 
-import numpy as np
 
 from repro.experiments import BENCH, format_table, run_grail_comparison
 

@@ -8,7 +8,6 @@ Paper shape to reproduce:
   parameters overfit) — checked as a soft trend, not per-dataset.
 """
 
-import numpy as np
 import pytest
 
 #: Full-experiment benchmark: excluded from the fast tier (-m 'not slow').

@@ -7,7 +7,6 @@ Paper shape to reproduce:
 * results are robust across eps — "tuning free" — while fixed N varies.
 """
 
-import numpy as np
 import pytest
 
 #: Full-experiment benchmark: excluded from the fast tier (-m 'not slow').

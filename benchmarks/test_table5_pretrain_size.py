@@ -16,7 +16,6 @@ import pytest
 #: Full-experiment benchmark: excluded from the fast tier (-m 'not slow').
 pytestmark = pytest.mark.slow
 
-import numpy as np
 
 from repro.experiments import BENCH, format_table, run_pretrain_size_ablation
 

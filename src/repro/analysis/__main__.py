@@ -1,0 +1,68 @@
+"""CLI: ``python -m repro.analysis [paths ...]``.
+
+Exits 0 when the tree is clean, 1 when any rule fires (one
+``path:line:col: rule-id message`` line per finding), 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.core import Analyzer, all_rules, get_rule
+from repro.analysis.reporters import render_json, render_text
+from repro.errors import ReproError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant checkers for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULE[,RULE...]",
+        help="run only these rule ids (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rule ids with descriptions and exit",
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.rule_id}: {rule.description}")
+        return 0
+    try:
+        if args.select:
+            rules = [get_rule(part.strip()) for part in args.select.split(",") if part.strip()]
+        else:
+            rules = all_rules()
+        findings = Analyzer(rules).run(args.paths)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

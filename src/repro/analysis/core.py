@@ -1,0 +1,254 @@
+"""Framework core: findings, source modules, the rule registry, the runner.
+
+Design constraints:
+
+* **Stdlib only** (plus :mod:`repro.errors`) — the analyzers must import
+  in a bare environment and can never be broken by the numerical code
+  they check.
+* **Parse once** — every rule sees the same :class:`SourceModule`
+  (path, dotted module name, AST, raw lines, suppression table), and
+  cross-module rules get the whole :class:`Project` in a second pass.
+* **Suppressions are per-line and per-rule** — ``# repro: allow[rule-id]``
+  on any line of the offending statement, or on the line directly above
+  it.  There is deliberately no file-wide or rule-wide off switch: every
+  exemption is a visible decision at the code site.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "Analyzer",
+    "Finding",
+    "Project",
+    "Rule",
+    "SourceModule",
+    "all_rules",
+    "get_rule",
+    "register_rule",
+]
+
+#: ``# repro: allow[rule-id]`` or ``# repro: allow[id-a, id-b]``.
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([a-z0-9_\-, ]+)\]")
+
+#: Rule id shared by all "the file would not even parse" findings.
+SYNTAX_RULE_ID = "syntax"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+
+@dataclass
+class SourceModule:
+    """A parsed source file plus everything rules need to inspect it."""
+
+    path: pathlib.Path
+    name: str  #: dotted module name, e.g. ``repro.kernels.policy``
+    tree: ast.Module
+    lines: list[str] = field(repr=False)
+    #: line number -> set of rule ids allowed on that line
+    allows: dict[int, set[str]] = field(repr=False)
+
+    @classmethod
+    def parse(cls, path: pathlib.Path, name: str, source: str) -> "SourceModule":
+        tree = ast.parse(source, filename=str(path))
+        lines = source.splitlines()
+        allows: dict[int, set[str]] = {}
+        for lineno, text in enumerate(lines, start=1):
+            match = _ALLOW_RE.search(text)
+            if match:
+                ids = {part.strip() for part in match.group(1).split(",")}
+                allows[lineno] = {part for part in ids if part}
+        return cls(path=path, name=name, tree=tree, lines=lines, allows=allows)
+
+    def is_suppressed(self, rule_id: str, node: ast.AST) -> bool:
+        """True when an allow comment covers ``node`` for ``rule_id``.
+
+        The comment may sit on any physical line of the statement (multi-
+        line calls included) or on the line directly above it.
+        """
+        start = getattr(node, "lineno", 1)
+        end = getattr(node, "end_lineno", None) or start
+        for lineno in range(start - 1, end + 1):
+            if rule_id in self.allows.get(lineno, ()):
+                return True
+        return False
+
+
+@dataclass
+class Project:
+    """Every module of one analysis run, keyed by dotted name."""
+
+    modules: dict[str, SourceModule]
+
+    def module_names(self) -> set[str]:
+        return set(self.modules)
+
+    def resolves(self, dotted: str) -> bool:
+        """True when ``dotted`` names a module or package in this project."""
+        return dotted in self.modules or any(
+            name.startswith(dotted + ".") for name in self.modules
+        )
+
+
+class Rule:
+    """Base class for one invariant checker.
+
+    Subclasses set ``rule_id``/``description`` and override
+    :meth:`check_module` (per-file checks) and/or :meth:`check_project`
+    (cross-file checks run after every module is parsed).  Both yield
+    ``(node, message)`` pairs; the runner attaches file/line/column and
+    applies suppressions centrally so no rule can forget them.
+    """
+
+    rule_id: str = "abstract"
+    description: str = ""
+
+    def check_module(self, module: SourceModule) -> Iterator[tuple[ast.AST, str]]:
+        return iter(())
+
+    def check_project(
+        self, project: Project
+    ) -> Iterator[tuple[SourceModule, ast.AST, str]]:
+        return iter(())
+
+
+_RULES: dict[str, Rule] = {}  # repro: allow[mutable-state] - populated only at import time, read-only afterwards
+
+
+def register_rule(rule: Rule) -> Rule:
+    """Add ``rule`` to the registry (idempotent per rule id)."""
+    if not rule.rule_id or rule.rule_id == "abstract":
+        raise ConfigError(f"rule {type(rule).__name__} must define a rule_id")
+    _RULES[rule.rule_id] = rule
+    return rule
+
+
+def all_rules() -> list[Rule]:
+    """Registered rules, sorted by id."""
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown rule {rule_id!r}; available: {sorted(_RULES)}"
+        ) from None
+
+
+def module_name_for(path: pathlib.Path) -> str:
+    """Dotted module name for ``path``.
+
+    The name is rooted at the last path segment named ``repro`` so the
+    same derivation works for the live tree (``src/repro/...``) and for
+    the fixture mini-trees under ``tests/analysis/fixtures/<case>/repro/``.
+    Files outside any ``repro`` tree keep their bare stem — rules scoped
+    to ``repro.*`` simply never fire on them.
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return ".".join(parts[index:])
+    return parts[-1] if parts else str(path)
+
+
+def _iter_python_files(root: pathlib.Path) -> Iterator[pathlib.Path]:
+    if root.is_file():
+        if root.suffix == ".py":
+            yield root
+        return
+    for path in sorted(root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        yield path
+
+
+class Analyzer:
+    """Collects sources, runs rules, returns sorted unsuppressed findings."""
+
+    def __init__(self, rules: Iterable[Rule] | None = None) -> None:
+        self.rules = list(rules) if rules is not None else all_rules()
+        if not self.rules:
+            raise ConfigError("no rules registered; import repro.analysis.rules")
+
+    def load_project(self, paths: Iterable[pathlib.Path | str]) -> tuple[Project, list[Finding]]:
+        """Parse every ``.py`` file under ``paths``.
+
+        Returns the project plus one ``syntax`` finding per unparseable
+        file (a file that cannot be parsed cannot be verified, so it must
+        fail the run rather than silently drop out of it).
+        """
+        modules: dict[str, SourceModule] = {}
+        failures: list[Finding] = []
+        for raw in paths:
+            root = pathlib.Path(raw)
+            if not root.exists():
+                raise ConfigError(f"analysis path does not exist: {root}")
+            for path in _iter_python_files(root):
+                source = path.read_text(encoding="utf-8")
+                name = module_name_for(path)
+                try:
+                    modules[name] = SourceModule.parse(path, name, source)
+                except SyntaxError as exc:
+                    failures.append(
+                        Finding(
+                            path=str(path),
+                            line=int(exc.lineno or 1),
+                            col=int(exc.offset or 1),
+                            rule_id=SYNTAX_RULE_ID,
+                            message=f"file does not parse: {exc.msg}",
+                        )
+                    )
+        return Project(modules=modules), failures
+
+    def run(self, paths: Iterable[pathlib.Path | str]) -> list[Finding]:
+        project, findings = self.load_project(paths)
+        for rule in self.rules:
+            for module in project.modules.values():
+                for node, message in rule.check_module(module):
+                    self._collect(findings, rule, module, node, message)
+            for module, node, message in rule.check_project(project):
+                self._collect(findings, rule, module, node, message)
+        return sorted(set(findings))
+
+    @staticmethod
+    def _collect(
+        findings: list[Finding],
+        rule: Rule,
+        module: SourceModule,
+        node: ast.AST,
+        message: str,
+    ) -> None:
+        if module.is_suppressed(rule.rule_id, node):
+            return
+        findings.append(
+            Finding(
+                path=str(module.path),
+                line=int(getattr(node, "lineno", 1)),
+                col=int(getattr(node, "col_offset", 0)) + 1,
+                rule_id=rule.rule_id,
+                message=message,
+            )
+        )

@@ -1,0 +1,44 @@
+"""Finding reporters: grep-style text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from repro.analysis.core import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """One ``path:line:col: rule-id message`` line per finding.
+
+    The format matches compiler/linter conventions so editors and CI log
+    scrapers pick the locations up without configuration.
+    """
+    findings = list(findings)
+    lines = [finding.format() for finding in findings]
+    if findings:
+        noun = "finding" if len(findings) == 1 else "findings"
+        lines.append(f"{len(findings)} {noun}")
+    else:
+        lines.append("no findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """A JSON document: ``{"findings": [...], "count": N}``."""
+    payload = {
+        "findings": [
+            {
+                "path": finding.path,
+                "line": finding.line,
+                "col": finding.col,
+                "rule": finding.rule_id,
+                "message": finding.message,
+            }
+            for finding in findings
+        ],
+    }
+    payload["count"] = len(payload["findings"])
+    return json.dumps(payload, indent=2, sort_keys=True)

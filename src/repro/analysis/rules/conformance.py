@@ -1,0 +1,183 @@
+"""``backend-conformance`` — kernel backends implement the full interface.
+
+The kernel registry (:mod:`repro.kernels.backend`) dispatches by method
+name on whatever backend is active, so a backend missing a primitive —
+or overriding one with a drifted signature — fails only at call time,
+per kernel, on whichever workload happens to exercise it.  This rule
+makes that drift a parse-time finding instead.
+
+It is a *project* rule (it needs every module of ``repro.kernels`` at
+once).  The interface is read from the ``KernelBackend`` class: every
+method whose body is ``raise NotImplementedError`` (modulo docstring) is
+a required primitive; methods with a concrete default body (e.g.
+``layer_norm_infer``) are optional.  For every class that transitively
+subclasses ``KernelBackend``:
+
+* each required primitive must be implemented somewhere in the class's
+  base chain (inheriting a concrete implementation satisfies it);
+* every override — required or optional — must keep the declared
+  signature: same positional parameter names in order, same defaults
+  arity, same ``*args``/``**kwargs``/keyword-only shape.  Matching
+  parameter *names* matters because the functional layer calls some
+  primitives with keyword arguments.
+
+Annotations are not compared (they may legitimately narrow), and extra
+private helpers on a backend are of course fine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Project, Rule, SourceModule, register_rule
+
+__all__ = ["BackendConformanceRule"]
+
+_ROOT_CLASS = "KernelBackend"
+_PACKAGE_PREFIX = "repro.kernels"
+
+
+def _is_abstract(fn: ast.FunctionDef) -> bool:
+    """True when the body is (docstring +) ``raise NotImplementedError``."""
+    body = list(fn.body)
+    if body and isinstance(body[0], ast.Expr) and isinstance(body[0].value, ast.Constant):
+        body = body[1:]
+    if len(body) != 1 or not isinstance(body[0], ast.Raise):
+        return False
+    exc = body[0].exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    return isinstance(exc, ast.Name) and exc.id == "NotImplementedError"
+
+
+def _signature_shape(fn: ast.FunctionDef) -> tuple:
+    """The call-compatibility shape of a method signature.
+
+    Positional parameter names and order, defaults arity, vararg/kwarg
+    presence, and keyword-only names with their defaults arity —
+    everything a keyword-calling caller depends on, nothing it does not
+    (annotations are free to narrow).
+    """
+    args = fn.args
+    return (
+        tuple(arg.arg for arg in args.posonlyargs + args.args),
+        len(args.defaults),
+        args.vararg.arg if args.vararg else None,
+        tuple(arg.arg for arg in args.kwonlyargs),
+        sum(1 for default in args.kw_defaults if default is not None),
+        args.kwarg.arg if args.kwarg else None,
+    )
+
+
+def _format_shape(shape: tuple) -> str:
+    positional, n_defaults, vararg, kwonly, _, kwarg = shape
+    parts = list(positional)
+    if n_defaults:
+        parts = parts[:-n_defaults] + [f"{p}=..." for p in parts[-n_defaults:]]
+    if vararg:
+        parts.append(f"*{vararg}")
+    elif kwonly:
+        parts.append("*")
+    parts.extend(kwonly)
+    if kwarg:
+        parts.append(f"**{kwarg}")
+    return f"({', '.join(parts)})"
+
+
+class _ClassInfo:
+    def __init__(self, module: SourceModule, node: ast.ClassDef) -> None:
+        self.module = module
+        self.node = node
+        self.name = node.name
+        self.bases = [
+            base.attr if isinstance(base, ast.Attribute) else getattr(base, "id", None)
+            for base in node.bases
+        ]
+        self.methods: dict[str, ast.FunctionDef] = {
+            stmt.name: stmt
+            for stmt in node.body
+            if isinstance(stmt, ast.FunctionDef)
+        }
+
+
+class BackendConformanceRule(Rule):
+    rule_id = "backend-conformance"
+    description = (
+        "every KernelBackend subclass implements all required primitives with "
+        "signatures matching the interface declaration"
+    )
+
+    def check_project(
+        self, project: Project
+    ) -> Iterator[tuple[SourceModule, ast.AST, str]]:
+        classes: dict[str, _ClassInfo] = {}
+        for name, module in project.modules.items():
+            if not name.startswith(_PACKAGE_PREFIX):
+                continue
+            for node in module.tree.body:
+                if isinstance(node, ast.ClassDef):
+                    classes[node.name] = _ClassInfo(module, node)
+        root = classes.get(_ROOT_CLASS)
+        if root is None:
+            return
+
+        interface = {
+            name: fn
+            for name, fn in root.methods.items()
+            if not name.startswith("_")
+        }
+        required = {name for name, fn in interface.items() if _is_abstract(fn)}
+
+        def chain(info: _ClassInfo) -> list[_ClassInfo]:
+            """Base-class chain (single inheritance, project classes only)."""
+            out, seen = [info], {info.name}
+            cursor = info
+            while True:
+                parent = next(
+                    (classes[b] for b in cursor.bases if b in classes and b not in seen),
+                    None,
+                )
+                if parent is None:
+                    return out
+                out.append(parent)
+                seen.add(parent.name)
+                cursor = parent
+
+        for info in classes.values():
+            if info.name == _ROOT_CLASS:
+                continue
+            lineage = chain(info)
+            if lineage[-1].name != _ROOT_CLASS:
+                continue  # not a backend
+            # Signature drift: check overrides defined on this class.
+            for name, fn in info.methods.items():
+                if name not in interface:
+                    continue
+                declared = _signature_shape(interface[name])
+                actual = _signature_shape(fn)
+                if actual != declared:
+                    yield (
+                        info.module,
+                        fn,
+                        f"{info.name}.{name} signature {_format_shape(actual)} "
+                        f"drifts from the {_ROOT_CLASS} declaration "
+                        f"{_format_shape(declared)}; keyword callers would "
+                        f"break only at call time",
+                    )
+            # Completeness: every required primitive resolved concretely.
+            for name in sorted(required):
+                impl = next(
+                    (c.methods[name] for c in lineage if name in c.methods), None
+                )
+                if impl is None or _is_abstract(impl):
+                    yield (
+                        info.module,
+                        info.node,
+                        f"{info.name} does not implement required primitive "
+                        f"{name!r}; it would fail only when a workload first "
+                        f"calls it",
+                    )
+
+
+register_rule(BackendConformanceRule())

@@ -1,0 +1,134 @@
+"""``dtype-literal`` — the compute dtype is policy, not a literal.
+
+PR 1 centralized the compute dtype in :mod:`repro.kernels.policy`
+(``RITA_COMPUTE_DTYPE`` / ``dtype_scope``): production inference runs
+``float32`` for memory bandwidth, gradchecks pin ``float64`` for sharp
+numerics, and *both* work only because no code path hardcodes a float
+width.  A stray ``np.float64`` silently doubles memory traffic for every
+caller; a stray ``dtype="float32"`` silently truncates a gradcheck.
+
+This rule flags, everywhere except ``repro.kernels.policy`` (the one
+module whose job is to name dtypes):
+
+* attribute references ``np.float32`` / ``np.float64`` / ``np.single``
+  / ``np.double``;
+* float dtype *string* literals (``"float32"``, ``"f64"``, ...) used in
+  a ``dtype=`` keyword, in ``np.dtype(...)`` / ``.astype(...)`` calls,
+  or passed to the policy entry points (``dtype_scope`` /
+  ``set_default_dtype`` / ``resolve_dtype``).
+
+Compliant spellings: take the dtype from the policy
+(``get_default_dtype()`` / ``resolve_dtype(dtype)``), derive it from an
+operand (``x.dtype``), or use the policy's named constants (e.g.
+``ACCUM_DTYPE`` for float64 loss accumulation).  Integer/bool dtypes are
+not policy-managed and stay literal.  Deliberate float64 contracts (the
+``gradcheck`` entry point, reference test oracles) carry
+``# repro: allow[dtype-literal]`` with the justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Rule, SourceModule, register_rule
+
+__all__ = ["DtypeLiteralRule"]
+
+_FLOAT_ATTRS = {"float32", "float64", "single", "double", "half", "float16"}
+_FLOAT_STRINGS = {
+    "float32",
+    "float64",
+    "float16",
+    "f32",
+    "f64",
+    "single",
+    "double",
+    "half",
+}
+_DTYPE_CALLEES = {
+    "dtype",            # np.dtype("float32")
+    "astype",           # x.astype("float32")
+    "dtype_scope",
+    "set_default_dtype",
+    "resolve_dtype",
+}
+
+#: The module allowed to name dtypes, plus the policy's own tests live
+#: outside ``src`` and are never scanned.
+EXEMPT_MODULES = {"repro.kernels.policy"}
+
+
+def _callee_name(call: ast.Call) -> str | None:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.findings: list[tuple[ast.AST, str]] = []
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            node.attr in _FLOAT_ATTRS
+            and isinstance(node.value, ast.Name)
+            and node.value.id in {"np", "numpy"}
+        ):
+            self.findings.append(
+                (
+                    node,
+                    f"hardcoded np.{node.attr}; take the dtype from "
+                    f"repro.kernels.policy (get_default_dtype/resolve_dtype/"
+                    f"ACCUM_DTYPE) or from an operand's .dtype",
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        for keyword in node.keywords:
+            if keyword.arg == "dtype" and self._is_float_string(keyword.value):
+                self.findings.append((keyword.value, self._string_message(keyword.value)))
+        if _callee_name(node) in _DTYPE_CALLEES:
+            for arg in node.args[:1]:
+                if self._is_float_string(arg):
+                    self.findings.append((arg, self._string_message(arg)))
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_float_string(value: ast.expr) -> bool:
+        return (
+            isinstance(value, ast.Constant)
+            and isinstance(value.value, str)
+            and value.value.lower() in _FLOAT_STRINGS
+        )
+
+    @staticmethod
+    def _string_message(value: ast.expr) -> str:
+        literal = getattr(value, "value", "?")
+        return (
+            f"hardcoded dtype literal {literal!r}; take the dtype from "
+            f"repro.kernels.policy (get_default_dtype/resolve_dtype/ACCUM_DTYPE) "
+            f"or from an operand's .dtype"
+        )
+
+
+class DtypeLiteralRule(Rule):
+    rule_id = "dtype-literal"
+    description = (
+        "no hardcoded float dtype literals outside kernels/policy.py; route "
+        "through the dtype policy"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[tuple[ast.AST, str]]:
+        if not module.name.startswith("repro") or module.name in EXEMPT_MODULES:
+            return
+        visitor = _Visitor()
+        visitor.visit(module.tree)
+        yield from visitor.findings
+
+
+register_rule(DtypeLiteralRule())

@@ -1,0 +1,151 @@
+"""``grad-discipline`` — serving code routes through the serving scope.
+
+PR 7 found ``no_grad()`` implemented as save/restore of a global flag:
+two overlapping no-grad blocks on concurrent serving threads could
+restore a stale ``False`` and permanently disable autograd for the whole
+process.  Grad mode is depth-counted now, but the structural lesson
+stands: **serving code must not touch autograd state directly**.  The
+engine owns exactly one place that enters the grad/eval/dtype context —
+``InferenceEngine._serving()`` — and every endpoint goes through it (via
+``_run``, which also carries the deadline checks).
+
+Two checks, scoped to ``repro.serve``:
+
+* any call to ``no_grad`` / ``enable_grad`` / ``set_grad_enabled``
+  outside a method named ``_serving`` is a finding — new serve code must
+  reuse the engine's context, not open its own;
+* in every engine-shaped class (one defining both ``_serving`` and
+  ``_run``), each public method must contain a direct call to
+  ``self._run(...)``, ``self._serving()``, or another public method of
+  the same class (endpoints like ``predict`` legitimately delegate to
+  ``classify``).  Public helpers that never execute the model
+  (introspection, wiring) carry ``# repro: allow[grad-discipline]``
+  with the reason.
+
+Properties and private helpers are exempt: the invariant is about the
+*public request surface*, where a missed ``no_grad`` both leaks autograd
+graph memory per request and (pre-PR 7) corrupted global state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Rule, SourceModule, register_rule
+
+__all__ = ["GradDisciplineRule"]
+
+_GRAD_STATE_CALLS = {"no_grad", "enable_grad", "set_grad_enabled"}
+_SERVING_HELPERS = {"_run", "_serving"}
+
+
+def _callee(call: ast.Call) -> tuple[str | None, str | None]:
+    """(bare name, self-attribute name) of the call target."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id, None
+    if isinstance(func, ast.Attribute):
+        if isinstance(func.value, ast.Name) and func.value.id == "self":
+            return None, func.attr
+        return func.attr, None
+    return None, None
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+class _GradCallVisitor(ast.NodeVisitor):
+    """Finds grad-state calls and records the enclosing function names."""
+
+    def __init__(self) -> None:
+        self.func_stack: list[str] = []
+        self.hits: list[tuple[ast.AST, str]] = []
+
+    def _visit_func(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func_stack.append(node.name)
+        self.generic_visit(node)
+        self.func_stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name, self_attr = _callee(node)
+        target = name or self_attr
+        if target in _GRAD_STATE_CALLS and "_serving" not in self.func_stack:
+            where = self.func_stack[-1] if self.func_stack else "<module>"
+            self.hits.append(
+                (
+                    node,
+                    f"direct {target}() in {where}; serve code must enter the "
+                    f"grad context through the engine's _serving()/_run() "
+                    f"helpers only",
+                )
+            )
+        self.generic_visit(node)
+
+
+def _calls_in(node: ast.AST) -> Iterator[ast.Call]:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            yield child
+
+
+class GradDisciplineRule(Rule):
+    rule_id = "grad-discipline"
+    description = (
+        "serve code enters grad/eval state only via the engine's _serving()/"
+        "_run(); every public engine endpoint routes through them"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[tuple[ast.AST, str]]:
+        if not module.name.startswith("repro.serve"):
+            return
+        visitor = _GradCallVisitor()
+        visitor.visit(module.tree)
+        yield from visitor.hits
+        for node in module.tree.body:
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_engine_class(node)
+
+    def _check_engine_class(self, cls: ast.ClassDef) -> Iterator[tuple[ast.AST, str]]:
+        methods = {
+            stmt.name: stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        if not _SERVING_HELPERS <= set(methods):
+            return  # not engine-shaped; nothing to enforce
+        public = {
+            name
+            for name, fn in methods.items()
+            if not name.startswith("_") and "property" not in _decorator_names(fn)
+            and "staticmethod" not in _decorator_names(fn)
+        }
+        for name in sorted(public):
+            fn = methods[name]
+            routed = False
+            for call in _calls_in(fn):
+                _, self_attr = _callee(call)
+                if self_attr in _SERVING_HELPERS or self_attr in public:
+                    routed = True
+                    break
+            if not routed:
+                yield (
+                    fn,
+                    f"public endpoint {cls.name}.{name} never routes through "
+                    f"self._run()/self._serving() (or a sibling endpoint); it "
+                    f"would execute outside no_grad/deadline scope",
+                )
+
+
+register_rule(GradDisciplineRule())

@@ -1,0 +1,153 @@
+"""``typed-errors`` — ReproError discipline and no silent swallowing.
+
+Every error this library raises on purpose derives from
+:class:`repro.errors.ReproError` so callers can catch one base class at
+an API boundary, and so the serving tier can prove "a worker never
+raises an untyped error" (PR 7's error table made this a correctness
+requirement: untyped exceptions crossing the worker pipe are what turn
+one bad request into a crashed replica).
+
+Two checks:
+
+* **raises** — ``raise ValueError(...)`` / ``KeyError`` / ``TypeError``
+  / ``RuntimeError`` / bare ``Exception`` (and friends) anywhere in
+  ``repro.*`` library code is a finding; raise a
+  :class:`~repro.errors.ReproError` subclass instead (most subclasses
+  also inherit the builtin they replace, so external callers keep
+  working).  Protocol-mandated exceptions stay legal:
+  ``NotImplementedError`` (abstract interfaces), ``StopIteration``
+  (iterators), ``AttributeError`` inside ``__getattr__``/
+  ``__getattribute__``, and ``SystemExit`` inside ``__main__`` modules.
+
+* **swallowing** — a bare ``except:`` is a finding anywhere (it catches
+  ``KeyboardInterrupt``/``SystemExit``); an ``except Exception:`` whose
+  body is only ``pass``/``...`` is a finding in ``repro.serve`` — a
+  serving path that swallows an exception without recording it converts
+  a diagnosable failure into a silent wrong answer or a hang.  Genuine
+  shutdown-path swallows carry ``# repro: allow[typed-errors]`` with the
+  justification in the comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Rule, SourceModule, register_rule
+
+__all__ = ["TypedErrorsRule", "BANNED_RAISES"]
+
+BANNED_RAISES = {
+    "ValueError",
+    "KeyError",
+    "IndexError",
+    "TypeError",
+    "RuntimeError",
+    "ArithmeticError",
+    "LookupError",
+    "AssertionError",
+    "Exception",
+    "BaseException",
+    "OSError",
+    "IOError",
+}
+
+_PROTOCOL_ATTRIBUTE_FUNCS = {"__getattr__", "__getattribute__"}
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+def _body_only_passes(body: list[ast.stmt]) -> bool:
+    for stmt in body:
+        if isinstance(stmt, ast.Pass):
+            continue
+        if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+            continue  # docstring or ``...``
+        return False
+    return True
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, module: SourceModule) -> None:
+        self.module = module
+        self.is_main = module.name.rsplit(".", 1)[-1] == "__main__"
+        self.in_serve = module.name.startswith("repro.serve")
+        self.func_stack: list[str] = []
+        self.findings: list[tuple[ast.AST, str]] = []
+
+    def _visit_func(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self.func_stack.append(node.name)
+        self.generic_visit(node)
+        self.func_stack.pop()
+
+    visit_FunctionDef = _visit_func
+    visit_AsyncFunctionDef = _visit_func
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        name = _raised_name(node)
+        if name == "AttributeError" and any(
+            func in _PROTOCOL_ATTRIBUTE_FUNCS for func in self.func_stack
+        ):
+            name = None  # the __getattr__ protocol requires AttributeError
+        if name == "SystemExit" and self.is_main:
+            name = None  # CLI entry points exit via SystemExit
+        if name in BANNED_RAISES:
+            self.findings.append(
+                (
+                    node,
+                    f"library code raises untyped {name}; raise a "
+                    f"repro.errors.ReproError subclass (ConfigError/ShapeError/"
+                    f"...) so callers can catch one base class",
+                )
+            )
+        self.generic_visit(node)
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.findings.append(
+                (
+                    node,
+                    "bare 'except:' also catches KeyboardInterrupt/SystemExit; "
+                    "catch Exception (or a ReproError subclass) explicitly",
+                )
+            )
+        elif (
+            self.in_serve
+            and isinstance(node.type, ast.Name)
+            and node.type.id in {"Exception", "BaseException"}
+            and _body_only_passes(node.body)
+        ):
+            self.findings.append(
+                (
+                    node,
+                    "serve path swallows Exception without recording it; handle "
+                    "the failure (or '# repro: allow[typed-errors]' with the "
+                    "shutdown-path justification)",
+                )
+            )
+        self.generic_visit(node)
+
+
+class TypedErrorsRule(Rule):
+    rule_id = "typed-errors"
+    description = (
+        "raise ReproError subclasses, never bare builtins; no bare 'except:'; "
+        "no pass-only 'except Exception:' in serve paths"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[tuple[ast.AST, str]]:
+        if not module.name.startswith("repro"):
+            return
+        visitor = _Visitor(module)
+        visitor.visit(module.tree)
+        yield from visitor.findings
+
+
+register_rule(TypedErrorsRule())

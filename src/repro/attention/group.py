@@ -364,7 +364,7 @@ def group_attention_exact_output(
     """
     n, d_k = q.shape
     n_groups = int(assignments.max()) + 1
-    counts = np.bincount(assignments, minlength=n_groups).astype(np.float64)
+    counts = np.bincount(assignments, minlength=n_groups).astype(np.float64)  # repro: allow[dtype-literal] - f64 test oracle
     reps = np.zeros((n_groups, d_k))
     np.add.at(reps, assignments, k)
     reps /= np.maximum(counts, 1.0)[:, None]

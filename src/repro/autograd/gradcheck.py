@@ -11,6 +11,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.autograd.tensor import Tensor
+from repro.errors import GradcheckError
 from repro.kernels.policy import dtype_scope
 
 __all__ = ["numerical_gradient", "gradcheck"]
@@ -47,15 +48,16 @@ def gradcheck(
 ) -> bool:
     """Compare autograd gradients of ``sum(func(*inputs))`` to finite differences.
 
-    Raises ``AssertionError`` with a diagnostic message on mismatch;
-    returns ``True`` on success so it can be used inside ``assert``.
+    Raises :class:`~repro.errors.GradcheckError` (an ``AssertionError``
+    subclass) with a diagnostic message on mismatch; returns ``True`` on
+    success so it can be used inside ``assert``.
 
     Runs under ``dtype_scope(float64)`` so tensors materialized inside
     ``func`` (scalars, constants) are float64 regardless of the process
     compute-dtype policy — central differences with ``eps ~ 1e-6`` are
     meaningless in float32.
     """
-    with dtype_scope(np.float64):
+    with dtype_scope(np.float64):  # repro: allow[dtype-literal] - f64 is gradcheck's contract
         for tensor in inputs:
             tensor.zero_grad()
         output = func(*inputs)
@@ -68,7 +70,7 @@ def gradcheck(
             assert actual is not None, f"input {index} received no gradient"
             if not np.allclose(actual, expected, atol=atol, rtol=rtol):
                 worst = np.max(np.abs(actual - expected))
-                raise AssertionError(
+                raise GradcheckError(
                     f"gradient mismatch on input {index}: max abs diff {worst:.3e}\n"
                     f"autograd:\n{actual}\nnumerical:\n{expected}"
                 )

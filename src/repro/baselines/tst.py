@@ -26,7 +26,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.attention import MultiHeadSelfAttention, VanillaAttention
-from repro.autograd import ops
 from repro.autograd.tensor import Tensor, as_tensor
 from repro.errors import ConfigError, ShapeError
 from repro.nn import (

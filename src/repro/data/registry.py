@@ -22,8 +22,7 @@ the benchmarks compare (the ``length`` column keeps its 200 / 2,000 /
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np

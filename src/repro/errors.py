@@ -23,6 +23,15 @@ class GradError(ReproError, RuntimeError):
     """Backward pass requested on a tensor that does not support it."""
 
 
+class GradcheckError(ReproError, AssertionError):
+    """Numerical gradient checking found a mismatch.
+
+    Inherits :class:`AssertionError` so test suites that asserted on
+    gradcheck failures keep working, while library callers can catch
+    :class:`ReproError` like every other typed failure.
+    """
+
+
 class RequestError(ReproError, ValueError):
     """An inference request payload is invalid (e.g. non-finite values).
 

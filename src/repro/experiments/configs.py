@@ -14,7 +14,7 @@ Linformer / Group Attn.) — exactly the lineup of Sec. 6.1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 

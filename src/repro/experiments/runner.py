@@ -14,15 +14,11 @@ actual computation runs at the scaled geometry.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass
 
 import numpy as np
 
-from repro.data.dataset import ArrayDataset
 from repro.data.masking import Scaler
-from repro.data.registry import DATASETS, DatasetBundle, load_dataset
-from repro.errors import SimulatedOOMError
+from repro.data.registry import DATASETS, load_dataset
 from repro.experiments.configs import (
     BENCH,
     METHODS,
@@ -36,7 +32,7 @@ from repro.scheduler.adaptive import AdaptiveScheduler, AdaptiveSchedulerConfig
 from repro.simgpu.memory import DEFAULT_CAPACITY, MemoryModel
 from repro.tasks.classification import ClassificationTask
 from repro.tasks.imputation import ImputationTask, PretrainTask
-from repro.train.trainer import Trainer, evaluate_task
+from repro.train.trainer import Trainer
 
 __all__ = [
     "paper_scale_oom",

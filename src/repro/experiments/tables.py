@@ -8,7 +8,7 @@ index promised in DESIGN.md, queryable at runtime.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
+from typing import Sequence
 
 __all__ = ["format_table", "format_value", "ExperimentEntry", "EXPERIMENT_INDEX"]
 

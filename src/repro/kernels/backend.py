@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+import threading
 
 import numpy as np
 
@@ -409,39 +410,48 @@ class NumpyReferenceBackend(KernelBackend):
 # ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
-_BACKENDS: dict[str, KernelBackend] = {}
+#: Guards first-use initialization and every registry mutation: two
+#: threads hitting ``get_backend()`` before any kernel ran would both
+#: see an uninitialized registry and race the imports below.  Reentrant
+#: because ``register_backend(activate=True)`` re-enters via
+#: ``set_backend`` -> ``_ensure_initialized``.
+_REGISTRY_LOCK = threading.RLock()
+_BACKENDS: dict[str, KernelBackend] = {}  # repro: allow[mutable-state] - guarded by _REGISTRY_LOCK
 _ACTIVE: KernelBackend | None = None
 
 
 def register_backend(backend: KernelBackend, activate: bool = False) -> KernelBackend:
     """Add ``backend`` to the registry (and optionally make it active)."""
-    _BACKENDS[backend.name] = backend
-    if activate:
-        set_backend(backend.name)
+    with _REGISTRY_LOCK:
+        _BACKENDS[backend.name] = backend
+        if activate:
+            set_backend(backend.name)
     return backend
 
 
 def available_backends() -> list[str]:
     """Registered backend names."""
     _ensure_initialized()
-    return sorted(_BACKENDS)
+    with _REGISTRY_LOCK:
+        return sorted(_BACKENDS)
 
 
 def _ensure_initialized() -> None:
     global _ACTIVE
-    if _ACTIVE is not None:
-        return
-    # Imports register the fused and parallel backends; deferred to avoid
-    # an import cycle.
-    from repro.kernels import fused, parallel  # noqa: F401
+    with _REGISTRY_LOCK:
+        if _ACTIVE is not None:
+            return
+        # Imports register the fused and parallel backends; deferred to
+        # avoid an import cycle.
+        from repro.kernels import fused, parallel  # noqa: F401
 
-    register_backend(NumpyReferenceBackend())
-    initial = os.environ.get(BACKEND_ENV_VAR, fused.FusedNumpyBackend.name)
-    if initial not in _BACKENDS:
-        raise ConfigError(
-            f"unknown kernel backend {initial!r}; available: {sorted(_BACKENDS)}"
-        )
-    _ACTIVE = _BACKENDS[initial]
+        register_backend(NumpyReferenceBackend())
+        initial = os.environ.get(BACKEND_ENV_VAR, fused.FusedNumpyBackend.name)
+        if initial not in _BACKENDS:
+            raise ConfigError(
+                f"unknown kernel backend {initial!r}; available: {sorted(_BACKENDS)}"
+            )
+        _ACTIVE = _BACKENDS[initial]
 
 
 def get_backend(name: str | None = None) -> KernelBackend:
@@ -462,9 +472,10 @@ def set_backend(name: str) -> str:
     """Make ``name`` the active backend; returns the previous active name."""
     global _ACTIVE
     _ensure_initialized()
-    assert _ACTIVE is not None
-    previous = _ACTIVE.name
-    _ACTIVE = get_backend(name)
+    with _REGISTRY_LOCK:
+        assert _ACTIVE is not None
+        previous = _ACTIVE.name
+        _ACTIVE = get_backend(name)
     return previous
 
 

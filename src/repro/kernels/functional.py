@@ -23,6 +23,7 @@ from scipy import special as _special
 from repro.autograd.tensor import Tensor, as_tensor, is_grad_enabled, unbroadcast
 from repro.errors import ShapeError
 from repro.kernels.backend import _check_segment_shapes, get_backend
+from repro.kernels.policy import ACCUM_DTYPE
 
 __all__ = [
     "softmax",
@@ -286,7 +287,7 @@ def cross_entropy(logits, targets) -> Tensor:
     log_probs = backend.log_softmax(logits.data, -1)
     batch = logits.shape[0]
     rows = np.arange(batch)
-    loss = -log_probs[rows, target_idx].mean(dtype=np.float64)
+    loss = -log_probs[rows, target_idx].mean(dtype=ACCUM_DTYPE)
     out_data = np.asarray(loss, dtype=logits.dtype)
     if not _recording(logits):
         return Tensor(out_data)
@@ -304,7 +305,7 @@ def mse(prediction, target) -> Tensor:
     """Mean squared error over all elements as a single node."""
     prediction = as_tensor(prediction)
     diff = prediction.data - _constant(target).astype(prediction.dtype, copy=False)
-    out_data = np.asarray((diff * diff).mean(dtype=np.float64), dtype=prediction.dtype)
+    out_data = np.asarray((diff * diff).mean(dtype=ACCUM_DTYPE), dtype=prediction.dtype)
     if not _recording(prediction):
         return Tensor(out_data)
 
@@ -323,7 +324,7 @@ def masked_mse(prediction, target, mask) -> Tensor:
         raise ShapeError("masked_mse received an empty mask")
     diff = prediction.data - _constant(target).astype(prediction.dtype, copy=False)
     diff = diff * mask_arr
-    out_data = np.asarray((diff * diff).sum(dtype=np.float64) / count, dtype=prediction.dtype)
+    out_data = np.asarray((diff * diff).sum(dtype=ACCUM_DTYPE) / count, dtype=prediction.dtype)
     if not _recording(prediction):
         return Tensor(out_data)
 
@@ -347,7 +348,7 @@ def masked_l1(prediction, target, mask) -> Tensor:
         raise ShapeError("masked_l1 received an empty mask")
     diff = prediction.data - _constant(target).astype(prediction.dtype, copy=False)
     diff = diff * mask_arr
-    out_data = np.asarray(np.abs(diff).sum(dtype=np.float64) / count, dtype=prediction.dtype)
+    out_data = np.asarray(np.abs(diff).sum(dtype=ACCUM_DTYPE) / count, dtype=prediction.dtype)
     if not _recording(prediction):
         return Tensor(out_data)
 
@@ -361,7 +362,7 @@ def l1(prediction, target) -> Tensor:
     """Mean absolute error over all elements as a single node."""
     prediction = as_tensor(prediction)
     diff = prediction.data - _constant(target).astype(prediction.dtype, copy=False)
-    out_data = np.asarray(np.abs(diff).mean(dtype=np.float64), dtype=prediction.dtype)
+    out_data = np.asarray(np.abs(diff).mean(dtype=ACCUM_DTYPE), dtype=prediction.dtype)
     if not _recording(prediction):
         return Tensor(out_data)
 

@@ -28,8 +28,11 @@ from __future__ import annotations
 
 import contextlib
 import os
+import types
+from typing import Any, Iterator
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import ConfigError
 
@@ -39,21 +42,31 @@ __all__ = [
     "dtype_scope",
     "resolve_dtype",
     "asarray",
+    "ACCUM_DTYPE",
     "DTYPE_ENV_VAR",
 ]
 
 #: Environment variable consulted once at import for the initial policy.
 DTYPE_ENV_VAR = "RITA_COMPUTE_DTYPE"
 
-_ALIASES = {
-    "f32": "float32",
-    "single": "float32",
-    "f64": "float64",
-    "double": "float64",
-}
+#: Accumulation dtype for loss/metric reductions.  Summing millions of
+#: float32 terms loses ~3 digits to cancellation, so reductions
+#: accumulate in float64 regardless of the compute dtype and cast back
+#: on the way out.  This is the one float64 the policy exports — kernel
+#: code references this constant instead of naming the dtype.
+ACCUM_DTYPE: np.dtype[Any] = np.dtype("float64")
+
+_ALIASES = types.MappingProxyType(
+    {
+        "f32": "float32",
+        "single": "float32",
+        "f64": "float64",
+        "double": "float64",
+    }
+)
 
 
-def _coerce(dtype) -> np.dtype:
+def _coerce(dtype: npt.DTypeLike) -> np.dtype[Any]:
     if isinstance(dtype, str):
         dtype = _ALIASES.get(dtype.lower(), dtype)
     try:
@@ -68,15 +81,15 @@ def _coerce(dtype) -> np.dtype:
     return resolved
 
 
-_DEFAULT_DTYPE: np.dtype = _coerce(os.environ.get(DTYPE_ENV_VAR, "float32"))
+_DEFAULT_DTYPE: np.dtype[Any] = _coerce(os.environ.get(DTYPE_ENV_VAR, "float32"))
 
 
-def get_default_dtype() -> np.dtype:
+def get_default_dtype() -> np.dtype[Any]:
     """The current default compute dtype."""
     return _DEFAULT_DTYPE
 
 
-def set_default_dtype(dtype) -> np.dtype:
+def set_default_dtype(dtype: npt.DTypeLike) -> np.dtype[Any]:
     """Set the default compute dtype; returns the previous one."""
     global _DEFAULT_DTYPE
     previous = _DEFAULT_DTYPE
@@ -85,7 +98,7 @@ def set_default_dtype(dtype) -> np.dtype:
 
 
 @contextlib.contextmanager
-def dtype_scope(dtype):
+def dtype_scope(dtype: npt.DTypeLike) -> Iterator[np.dtype[Any]]:
     """Temporarily switch the default compute dtype.
 
     >>> with dtype_scope(np.float64):
@@ -98,13 +111,13 @@ def dtype_scope(dtype):
         set_default_dtype(previous)
 
 
-def resolve_dtype(dtype=None) -> np.dtype:
+def resolve_dtype(dtype: npt.DTypeLike | None = None) -> np.dtype[Any]:
     """``dtype`` itself when given, else the policy default."""
     if dtype is None:
         return _DEFAULT_DTYPE
     return _coerce(dtype)
 
 
-def asarray(values, dtype=None) -> np.ndarray:
+def asarray(values: npt.ArrayLike, dtype: npt.DTypeLike | None = None) -> npt.NDArray[Any]:
     """``np.asarray`` pinned to the policy (or an explicit) dtype."""
     return np.asarray(values, dtype=resolve_dtype(dtype))

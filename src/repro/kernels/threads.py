@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import contextlib
 import os
+from typing import Iterator
 
 from repro.errors import ConfigError
 
@@ -46,7 +47,7 @@ THREADS_ENV_VAR = "RITA_NUM_THREADS"
 DEFAULT_PARALLEL_THRESHOLD = 1 << 18
 
 
-def _coerce_threads(value) -> int:
+def _coerce_threads(value: int | str) -> int:
     try:
         threads = int(value)
     except (TypeError, ValueError):
@@ -59,7 +60,7 @@ def _coerce_threads(value) -> int:
     return threads
 
 
-def _coerce_threshold(value) -> int:
+def _coerce_threshold(value: int | str) -> int:
     try:
         threshold = int(value)
     except (TypeError, ValueError):
@@ -78,7 +79,7 @@ def get_num_threads() -> int:
     return _NUM_THREADS
 
 
-def set_num_threads(threads) -> int:
+def set_num_threads(threads: int | str) -> int:
     """Set the worker count; returns the previous value."""
     global _NUM_THREADS
     previous = _NUM_THREADS
@@ -91,7 +92,7 @@ def get_parallel_threshold() -> int:
     return _PARALLEL_THRESHOLD
 
 
-def set_parallel_threshold(threshold) -> int:
+def set_parallel_threshold(threshold: int | str) -> int:
     """Set the shard threshold; returns the previous value."""
     global _PARALLEL_THRESHOLD
     previous = _PARALLEL_THRESHOLD
@@ -100,7 +101,9 @@ def set_parallel_threshold(threshold) -> int:
 
 
 @contextlib.contextmanager
-def threads_scope(num_threads=None, min_elements=None):
+def threads_scope(
+    num_threads: int | str | None = None, min_elements: int | None = None
+) -> Iterator[int]:
     """Temporarily override the thread policy.
 
     >>> with threads_scope(4):                  # shard across 4 workers

@@ -26,7 +26,7 @@ class Optimizer:
     def __init__(self, parameters: Iterable[Parameter], lr: float) -> None:
         self.parameters: list[Parameter] = list(parameters)
         if not self.parameters:
-            raise ValueError("optimizer received no parameters")
+            raise ConfigError("optimizer received no parameters")
         self.lr = float(lr)
         self._step_count = 0
 

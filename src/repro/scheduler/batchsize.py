@@ -89,7 +89,7 @@ def sample_plane(
     generator = get_rng(rng)
     log_l = generator.uniform(0.0, math.log(max(l_max, 2)), size=n_points)
     lengths = np.maximum(np.exp(log_l).astype(np.int64), 1)
-    groups = np.array([generator.integers(1, l + 1) for l in lengths], dtype=np.int64)
+    groups = np.array([generator.integers(1, length + 1) for length in lengths], dtype=np.int64)
     return np.stack([lengths, groups], axis=1)
 
 
@@ -379,7 +379,7 @@ class BatchSizePredictor:
     ) -> "BatchSizePredictor":
         """Sample the plane, measure batches, divide and fit (Alg. 3)."""
         points = sample_plane(l_max, n_points, rng=rng)
-        batches = np.array([self.measure(int(l), int(n)) for l, n in points], dtype=float)
+        batches = np.array([self.measure(int(length), int(n)) for length, n in points], dtype=float)
         keep = batches >= 1
         points, batches = points[keep], batches[keep]
         if len(points) < min_points:

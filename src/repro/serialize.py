@@ -22,8 +22,10 @@ from __future__ import annotations
 import json
 import pathlib
 import zipfile
+from typing import Any, Protocol
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import ConfigError
 
@@ -38,12 +40,20 @@ __all__ = [
 ]
 
 
-def encode_json(payload: dict) -> np.ndarray:
+class _ArchiveLike(Protocol):
+    """The slice of ``np.lib.npyio.NpzFile`` the version reader needs."""
+
+    def __contains__(self, key: object) -> bool: ...
+
+    def __getitem__(self, key: str) -> Any: ...
+
+
+def encode_json(payload: dict[str, Any]) -> npt.NDArray[np.uint8]:
     """Encode a JSON-serializable dict as a ``uint8`` array for ``np.savez``."""
     return np.frombuffer(json.dumps(payload).encode("utf-8"), dtype=np.uint8)
 
 
-def decode_json(array: np.ndarray, what: str = "payload") -> dict:
+def decode_json(array: npt.ArrayLike, what: str = "payload") -> dict[str, Any]:
     """Invert :func:`encode_json`; corrupt bytes raise :class:`ConfigError`."""
     try:
         decoded = json.loads(np.asarray(array, dtype=np.uint8).tobytes().decode("utf-8"))
@@ -54,7 +64,7 @@ def decode_json(array: np.ndarray, what: str = "payload") -> dict:
     return decoded
 
 
-def read_format_version(archive, key: str) -> int:
+def read_format_version(archive: _ArchiveLike, key: str) -> int:
     """The bundle's format version; 0 when the key predates versioning."""
     if key not in archive:
         return 0
@@ -74,7 +84,7 @@ def check_format_version(version: int, supported: int, what: str) -> int:
     return version
 
 
-def resolve_npz_path(path) -> pathlib.Path:
+def resolve_npz_path(path: str | pathlib.Path) -> pathlib.Path:
     """``path`` or ``path + '.npz'`` — whichever exists (NumPy appends it)."""
     path = pathlib.Path(path)
     if not path.exists() and path.with_suffix(path.suffix + ".npz").exists():
@@ -82,7 +92,7 @@ def resolve_npz_path(path) -> pathlib.Path:
     return path
 
 
-def saved_npz_path(path) -> pathlib.Path:
+def saved_npz_path(path: str | pathlib.Path) -> pathlib.Path:
     """The file ``np.savez(path, ...)`` actually writes (``.npz`` appended)."""
     path = pathlib.Path(path)
     if path.suffix != ".npz":
@@ -90,7 +100,7 @@ def saved_npz_path(path) -> pathlib.Path:
     return path
 
 
-def open_archive(path, what: str = "bundle"):
+def open_archive(path: str | pathlib.Path, what: str = "bundle") -> np.lib.npyio.NpzFile:
     """``np.load`` with :class:`ConfigError` on missing/corrupt/non-npz files."""
     path = resolve_npz_path(path)
     if not path.exists():

@@ -245,7 +245,7 @@ class MicroBatcher:
                 # error, and this request is enqueued either way.
                 try:
                     self._flush_locked()
-                except Exception:  # noqa: BLE001 - recorded per handle
+                except Exception:  # noqa: BLE001  # repro: allow[typed-errors] - _flush_locked records the error on each affected handle; result() re-raises it
                     pass
         return handle
 

@@ -293,7 +293,7 @@ class WorkerPool:
             for slot in self._slots.values():
                 try:
                     slot.request_q.put(("stop",))
-                except Exception:  # pragma: no cover - queue already broken
+                except Exception:  # pragma: no cover  # repro: allow[typed-errors] - shutdown path; a broken queue means the worker is already gone
                     pass
             for slot in self._slots.values():
                 slot.process.join(timeout=1.0)

@@ -144,6 +144,7 @@ class InferenceEngine:
         self._index: IVFFlatIndex | None = None
         self._index_pooling: str = "cls"
 
+    # repro: allow[grad-discipline] - pure introspection; executes no model code
     def supports_concurrent_calls(self) -> bool:
         """True when endpoint calls may safely run on multiple threads.
 
@@ -232,6 +233,9 @@ class InferenceEngine:
                 "NaN/inf series cannot be served"
             )
 
+    # Name->method wiring only; the bound endpoints it returns each
+    # route through _run themselves.
+    # repro: allow[grad-discipline]
     def endpoint(self, name: str):
         """The bound endpoint callable for ``name``.
 

@@ -38,7 +38,7 @@ from repro.serve.engine import InferenceEngine
 
 __all__ = ["StreamingSession"]
 
-_ENDPOINTS = {"embed", "classify", "reconstruct"}
+_ENDPOINTS = frozenset({"embed", "classify", "reconstruct"})
 
 
 class StreamingSession:

@@ -21,9 +21,9 @@ regardless of the NumPy dtype used for the actual computation here.
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.errors import SimulatedOOMError
+from repro.errors import ConfigError, SimulatedOOMError
 
 __all__ = [
     "BYTES_PER_ELEMENT",
@@ -79,7 +79,7 @@ class MemoryModel:
         if kind == "local":
             w = window if window is not None else 16
             return 2 * heads * n * min(2 * w + 1, n)
-        raise ValueError(f"unknown attention kind: {kind!r}")
+        raise ConfigError(f"unknown attention kind: {kind!r}")
 
     def layer_elements(self, kind: str, n: int, **kwargs) -> int:
         """Activation elements of one encoder layer on one sample."""

@@ -1,0 +1,3 @@
+"""The fixture mini-trees are analysis *inputs*, never imported as tests."""
+
+collect_ignore_glob = ["fixtures/*"]

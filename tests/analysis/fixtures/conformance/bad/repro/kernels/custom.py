@@ -1,0 +1,20 @@
+"""Seeded conformance violations: missing primitive and signature drift."""
+
+from repro.kernels.backend import KernelBackend
+
+
+class IncompleteBackend(KernelBackend):  # EXPECT[backend-conformance]  (no linear)
+    name = "incomplete"
+
+    def softmax(self, x, axis):
+        return x
+
+
+class DriftedBackend(KernelBackend):
+    name = "drifted"
+
+    def softmax(self, x, dim):  # EXPECT[backend-conformance]  (axis renamed)
+        return x
+
+    def linear(self, x, weight, bias=None):
+        return x @ weight

@@ -1,0 +1,16 @@
+"""A miniature KernelBackend interface for conformance fixtures."""
+
+
+class KernelBackend:
+    name = "abstract"
+
+    def softmax(self, x, axis):
+        """Row-wise softmax."""
+        raise NotImplementedError
+
+    def linear(self, x, weight, bias=None):
+        raise NotImplementedError
+
+    def layer_norm_infer(self, x, weight, bias, eps):
+        """Optional: has a concrete default."""
+        return x * weight + bias

@@ -1,0 +1,25 @@
+"""A conformant backend chain: complete primitives, stable signatures."""
+
+from repro.kernels.backend import KernelBackend
+
+
+class ReferenceBackend(KernelBackend):
+    name = "reference"
+
+    def softmax(self, x, axis):
+        return x
+
+    def linear(self, x, weight, bias=None):
+        return x @ weight
+
+
+class FusedBackend(ReferenceBackend):
+    """Inherits ``linear``; overrides ``softmax`` with the same signature."""
+
+    name = "fused"
+
+    def softmax(self, x, axis):
+        return x
+
+    def layer_norm_infer(self, x, weight, bias, eps):
+        return x * weight + bias

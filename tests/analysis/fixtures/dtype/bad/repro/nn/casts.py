@@ -1,0 +1,20 @@
+"""Seeded dtype-policy violations outside kernels/policy.py."""
+
+import numpy as np
+
+
+def embed(x):
+    table = np.zeros((16, 8), dtype=np.float32)  # EXPECT[dtype-literal]
+    return table[x]
+
+
+def widen(x):
+    return x.astype("float64")  # EXPECT[dtype-literal]
+
+
+def parse(name):
+    return np.dtype("float32")  # EXPECT[dtype-literal]
+
+
+def accumulate(losses):
+    return losses.sum(dtype="f64")  # EXPECT[dtype-literal]

@@ -1,0 +1,6 @@
+"""The policy module itself may name dtypes — that is its job."""
+
+import numpy as np
+
+ACCUM_DTYPE = np.dtype("float64")
+_DEFAULT = np.dtype(np.float32)

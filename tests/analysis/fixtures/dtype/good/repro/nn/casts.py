@@ -1,0 +1,23 @@
+"""Dtype discipline: take the dtype from the policy or an operand."""
+
+import numpy as np
+
+from repro.kernels.policy import ACCUM_DTYPE, get_default_dtype, resolve_dtype
+
+
+def embed(x, dtype=None):
+    table = np.zeros((16, 8), dtype=resolve_dtype(dtype))
+    return table[x]
+
+
+def like(x, y):
+    return y.astype(x.dtype)
+
+
+def accumulate(losses):
+    # Named policy constant, not a literal: the one sanctioned float64.
+    return np.asarray(losses.sum(dtype=ACCUM_DTYPE), dtype=get_default_dtype())
+
+
+def ints(n):
+    return np.arange(n, dtype=np.int64)  # integer dtypes are not policy-managed

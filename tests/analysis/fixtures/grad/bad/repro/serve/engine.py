@@ -1,0 +1,26 @@
+"""Seeded grad-discipline violations in an engine-shaped class."""
+
+from repro.autograd.tensor import no_grad
+
+
+def warm_up(model, x):
+    with no_grad():  # EXPECT[grad-discipline]  (grad state outside _serving)
+        return model.classify(x)
+
+
+class MiniEngine:
+    def __init__(self, model):
+        self.model = model
+
+    def _serving(self):
+        return no_grad()
+
+    def _run(self, fn, x):
+        with self._serving():
+            return fn(x)
+
+    def classify(self, x):
+        return self._run(self.model.classify, x)
+
+    def classify_raw(self, x):  # EXPECT[grad-discipline]  (bypasses _run)
+        return self.model.classify(x)

@@ -1,0 +1,27 @@
+"""Grad discipline: every endpoint routes through the serving scope."""
+
+from repro.autograd.tensor import no_grad
+
+
+class MiniEngine:
+    def __init__(self, model):
+        self.model = model
+
+    def _serving(self):
+        # The one sanctioned entry into grad state for serving code.
+        return no_grad()
+
+    def _run(self, fn, x):
+        with self._serving():
+            return fn(x)
+
+    def classify(self, x):
+        return self._run(self.model.classify, x)
+
+    def predict(self, x):
+        return self.classify(x).argmax(axis=-1)
+
+    # Pure introspection; executes no model code.
+    # repro: allow[grad-discipline]
+    def describe(self):
+        return {"endpoints": ["classify", "predict"]}

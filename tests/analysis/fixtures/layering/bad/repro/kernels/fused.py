@@ -1,0 +1,9 @@
+"""Seeded layering violations: a kernel backend importing upward."""
+
+from repro.nn.linear import Linear  # EXPECT[layering]
+
+
+def helper(x):
+    from repro.autograd.tensor import Tensor  # EXPECT[layering]  (forbidden even deferred)
+
+    return Tensor(Linear(2, 2)(x))

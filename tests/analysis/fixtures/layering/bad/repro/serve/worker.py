@@ -1,0 +1,10 @@
+"""Seeded layering violations: the serve tier reaching into training code."""
+
+from repro.model.rita import RitaModel
+from repro.train.trainer import Trainer  # EXPECT[layering]
+
+
+def fine_tune(model: RitaModel):
+    import repro.optim  # EXPECT[layering]  (forbidden even deferred)
+
+    return Trainer(model, repro.optim.SGD(model.parameters(), lr=0.1))

@@ -1,0 +1,10 @@
+"""The sanctioned inversion: a deferred upward import inside a function."""
+
+
+def predict_via_engine(model, x):
+    # Deferred (per-call) import of a higher layer is the documented
+    # escape hatch for deprecation shims; only serve->train/optim and
+    # kernel-backend->upward stay forbidden even deferred.
+    from repro.serve.engine import InferenceEngine
+
+    return InferenceEngine(model).predict(x)

@@ -1,0 +1,12 @@
+"""Layer-clean serving module: imports only at or below its rank."""
+
+from repro.errors import ConfigError
+from repro.kernels.policy import get_default_dtype
+from repro.model.rita import RitaModel
+from repro.tasks.base import Task
+
+
+def serve(model: RitaModel, task: Task):
+    if model is None:
+        raise ConfigError("no model")
+    return get_default_dtype()

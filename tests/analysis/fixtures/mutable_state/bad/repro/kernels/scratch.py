@@ -1,0 +1,14 @@
+"""Seeded thread-safety violations: unguarded shared containers."""
+
+import collections
+
+_SCRATCH_POOL = {}  # EXPECT[mutable-state]
+_PENDING: list = []  # EXPECT[mutable-state]
+_COUNTS = collections.defaultdict(int)  # EXPECT[mutable-state]
+
+
+class KernelCache:
+    entries = {}  # EXPECT[mutable-state]  (class-level: shared by all instances)
+
+    def __init__(self):
+        self.local_entries = {}  # per-instance: fine

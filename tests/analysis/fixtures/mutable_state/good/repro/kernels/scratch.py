@@ -1,0 +1,21 @@
+"""Thread-safe module state: every compliant spelling the rule accepts."""
+
+import threading
+import types
+
+_SCRATCH_POOL = threading.local()
+_POOL_LOCK = threading.Lock()
+_REGISTRY = {}  # repro: allow[mutable-state] - guarded by _POOL_LOCK
+_ALIASES = types.MappingProxyType({"f32": "float32"})
+_KINDS = frozenset({"softmax", "linear"})
+_ORDER = ("reference", "fused", "parallel")
+
+__all__ = ["KernelCache"]
+
+
+class KernelCache:
+    lock = threading.RLock()
+    kinds = frozenset({"a", "b"})
+
+    def __init__(self):
+        self.entries = {}  # per-instance containers are the owner's contract

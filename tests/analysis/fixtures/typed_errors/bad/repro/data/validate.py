@@ -1,0 +1,18 @@
+"""Seeded typed-error violations in library code."""
+
+
+def check_lengths(lengths):
+    if not lengths:
+        raise ValueError("empty batch")  # EXPECT[typed-errors]
+    if min(lengths) < 0:
+        raise RuntimeError("negative length")  # EXPECT[typed-errors]
+    try:
+        return max(lengths)
+    except:  # EXPECT[typed-errors]  (bare except)
+        return 0
+
+
+def lookup(table, key):
+    if key not in table:
+        raise KeyError(key)  # EXPECT[typed-errors]
+    return table[key]

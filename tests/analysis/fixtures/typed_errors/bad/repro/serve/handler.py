@@ -1,0 +1,9 @@
+"""Seeded serve-path swallowing violations."""
+
+
+def handle(request, engine):
+    try:
+        return engine.classify(request)
+    except Exception:  # EXPECT[typed-errors]  (serve path swallows silently)
+        pass
+    return None

@@ -1,0 +1,39 @@
+"""Typed-error discipline: every compliant pattern the rule accepts."""
+
+from repro.errors import ConfigError, ReproError, ShapeError
+
+
+def handle(request, engine, stats):
+    if request is None:
+        raise ConfigError("empty request")
+    try:
+        return engine.classify(request)
+    except ReproError:
+        stats["typed_failures"] = stats.get("typed_failures", 0) + 1
+        raise
+    except Exception:
+        # Recording before re-raising is handling, not swallowing.
+        stats["untyped_failures"] = stats.get("untyped_failures", 0) + 1
+        raise
+
+
+def shutdown(queue):
+    try:
+        queue.put(("stop",))
+    except Exception:  # repro: allow[typed-errors] - shutdown path; receiver already gone
+        pass
+
+
+def validate(shape):
+    if len(shape) != 3:
+        raise ShapeError(f"expected (B, L, m), got {shape}")
+
+
+class _Proxy:
+    def __getattr__(self, name):
+        raise AttributeError(name)  # the __getattr__ protocol requires this
+
+
+class Interface:
+    def run(self, x):
+        raise NotImplementedError

@@ -1,0 +1,140 @@
+"""Framework-level tests: suppression, registry, reporters, module naming."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Analyzer, Finding, all_rules, get_rule, render_json, render_text
+from repro.analysis.core import module_name_for
+from repro.errors import ConfigError
+
+
+def write_tree(root, files):
+    for rel, text in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text)
+    return root
+
+
+BAD_RAISE = 'def f():\n    raise ValueError("boom")\n'
+
+
+class TestSuppression:
+    def test_inline_allow_comment_silences_the_finding(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/data/a.py": 'def f():\n    raise ValueError("x")  # repro: allow[typed-errors] - fixture\n',
+        })
+        assert Analyzer().run([tmp_path]) == []
+
+    def test_allow_comment_on_preceding_line(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/data/a.py": 'def f():\n    # repro: allow[typed-errors] - fixture\n    raise ValueError("x")\n',
+        })
+        assert Analyzer().run([tmp_path]) == []
+
+    def test_allow_for_a_different_rule_does_not_suppress(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/data/a.py": 'def f():\n    raise ValueError("x")  # repro: allow[dtype-literal]\n',
+        })
+        findings = Analyzer().run([tmp_path])
+        assert [f.rule_id for f in findings] == ["typed-errors"]
+
+    def test_allow_accepts_a_comma_separated_list(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/data/a.py": 'def f():\n    raise ValueError("x")  # repro: allow[dtype-literal, typed-errors]\n',
+        })
+        assert Analyzer().run([tmp_path]) == []
+
+    def test_distant_allow_comment_does_not_leak(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/data/a.py": '# repro: allow[typed-errors]\n\n\ndef f():\n    raise ValueError("x")\n',
+        })
+        findings = Analyzer().run([tmp_path])
+        assert [f.rule_id for f in findings] == ["typed-errors"]
+
+
+class TestAnalyzer:
+    def test_findings_are_sorted_and_deduplicated(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/data/b.py": BAD_RAISE,
+            "repro/data/a.py": BAD_RAISE,
+        })
+        findings = Analyzer().run([tmp_path])
+        assert [f.path.endswith("a.py") for f in findings] == [True, False]
+        assert findings == sorted(findings)
+
+    def test_syntax_error_is_reported_as_a_finding(self, tmp_path):
+        write_tree(tmp_path, {"repro/data/a.py": "def f(:\n"})
+        findings = Analyzer().run([tmp_path])
+        assert len(findings) == 1
+        assert findings[0].rule_id == "syntax"
+
+    def test_rule_subset_restricts_findings(self, tmp_path):
+        write_tree(tmp_path, {
+            "repro/kernels/a.py": '_CACHE = {}\n\n\ndef f():\n    raise ValueError("x")\n',
+        })
+        findings = Analyzer(rules=[get_rule("mutable-state")]).run([tmp_path])
+        assert {f.rule_id for f in findings} == {"mutable-state"}
+
+    def test_unknown_path_raises_config_error(self, tmp_path):
+        with pytest.raises(ConfigError):
+            Analyzer().run([tmp_path / "does-not-exist"])
+
+    def test_non_repro_files_are_ignored(self, tmp_path):
+        write_tree(tmp_path, {"scripts/tool.py": BAD_RAISE})
+        assert Analyzer().run([tmp_path]) == []
+
+
+class TestRegistry:
+    def test_all_six_rules_are_registered(self):
+        ids = {rule.rule_id for rule in all_rules()}
+        assert ids >= {
+            "layering",
+            "mutable-state",
+            "typed-errors",
+            "dtype-literal",
+            "grad-discipline",
+            "backend-conformance",
+        }
+
+    def test_get_rule_round_trips(self):
+        for rule in all_rules():
+            assert get_rule(rule.rule_id) is rule
+
+    def test_get_rule_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            get_rule("nope")
+
+
+class TestReporters:
+    FINDINGS = [Finding(path="src/a.py", line=3, col=1, rule_id="layering", message="bad import")]
+
+    def test_render_text(self):
+        out = render_text(self.FINDINGS)
+        assert "src/a.py:3:1: layering bad import" in out
+        assert "1 finding" in out
+
+    def test_render_text_empty(self):
+        assert "no findings" in render_text([])
+
+    def test_render_json(self):
+        doc = json.loads(render_json(self.FINDINGS))
+        assert doc["count"] == 1
+        assert doc["findings"][0]["rule"] == "layering"
+        assert doc["findings"][0]["line"] == 3
+
+
+class TestModuleNaming:
+    def test_roots_at_last_repro_segment(self, tmp_path):
+        path = tmp_path / "fixtures" / "x" / "repro" / "serve" / "engine.py"
+        assert module_name_for(path) == "repro.serve.engine"
+
+    def test_init_maps_to_package(self, tmp_path):
+        path = tmp_path / "repro" / "kernels" / "__init__.py"
+        assert module_name_for(path) == "repro.kernels"
+
+    def test_outside_any_repro_tree_keeps_the_bare_stem(self, tmp_path):
+        assert module_name_for(tmp_path / "scripts" / "tool.py") == "tool"

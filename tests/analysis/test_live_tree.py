@@ -1,0 +1,36 @@
+"""The acceptance invariant: the live source tree carries zero findings.
+
+This is the test that makes the checkers *binding* — any future change
+that introduces a layering breach, unguarded module state, an untyped
+raise, a stray dtype literal, a grad-discipline slip, or a
+non-conformant backend fails the suite, not just the CI lint job.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+from repro.analysis import Analyzer
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+
+
+def test_live_tree_is_clean():
+    findings = Analyzer().run([SRC])
+    assert not findings, "\n".join(f.format() for f in findings)
+
+
+def test_cli_over_src_exits_zero():
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src"],
+        cwd=REPO,
+        env={"PYTHONPATH": str(REPO / "src"), "PATH": "/usr/bin:/bin:/usr/local/bin"},
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "no findings" in proc.stdout

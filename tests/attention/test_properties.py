@@ -1,7 +1,6 @@
 """Property-based tests on attention mechanisms (hypothesis)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.attention import GroupAttention, VanillaAttention

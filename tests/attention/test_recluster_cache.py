@@ -121,8 +121,8 @@ class TestReclusterCadence:
         )
         model = RitaModel(config, rng=rng)
         layers = model.group_attention_layers()
-        assert layers and all(l.recluster_every == 3 for l in layers)
-        assert all(l.drift_tolerance == 0.25 for l in layers)
+        assert layers and all(layer.recluster_every == 3 for layer in layers)
+        assert all(layer.drift_tolerance == 0.25 for layer in layers)
 
 
 class TestDriftGuard:

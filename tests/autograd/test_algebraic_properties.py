@@ -5,7 +5,6 @@ backward passes — the class of bug unit shape-checks cannot catch.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.autograd import Tensor, conv1d

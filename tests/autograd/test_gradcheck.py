@@ -1,0 +1,31 @@
+"""GradcheckError contract: typed, catchable as ReproError AND AssertionError."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.gradcheck import gradcheck
+from repro.errors import GradcheckError, ReproError
+
+
+def make_input():
+    return Tensor(np.array([0.3, -0.7, 1.1], dtype=np.float64), requires_grad=True)
+
+
+def test_matching_gradient_returns_true():
+    assert gradcheck(lambda x: (x * x).sum(), [make_input()])
+
+
+def test_mismatch_raises_gradcheck_error():
+    # Zero tolerance: finite differences never match analytically exactly,
+    # so this deterministically exercises the failure path.
+    with pytest.raises(GradcheckError, match="gradient mismatch"):
+        gradcheck(lambda x: (x * x).sum(), [make_input()], atol=0.0, rtol=0.0)
+
+
+def test_gradcheck_error_is_both_typed_and_an_assertion():
+    """Library callers catch ReproError; legacy tests catch AssertionError."""
+    assert issubclass(GradcheckError, ReproError)
+    assert issubclass(GradcheckError, AssertionError)
+    with pytest.raises(AssertionError):
+        gradcheck(lambda x: (x * x).sum(), [make_input()], atol=0.0, rtol=0.0)

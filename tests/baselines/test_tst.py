@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.autograd import Tensor
 from repro.baselines import TSTConfig, TSTModel
 from repro.errors import ConfigError, ShapeError
 

@@ -1,7 +1,6 @@
 """Cluster merging: the halving heuristic and the Lemma 2 guarantee."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cluster import (

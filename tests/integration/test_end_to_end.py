@@ -8,7 +8,6 @@ from repro.data import Scaler
 from repro.experiments import (
     SMOKE,
     build_model,
-    method_display_name,
     paper_scale_oom,
     run_classification,
     run_imputation,

@@ -5,6 +5,7 @@ import pytest
 
 from repro import nn
 from repro.autograd import Tensor
+from repro.errors import ConfigError
 from repro.nn.module import Parameter
 from repro.optim import SGD, Adam, AdamW
 from repro.optim.optimizer import Optimizer
@@ -55,8 +56,10 @@ class TestSGD:
         assert float(p.data[0]) != 0.0
 
     def test_empty_params_raises(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError) as excinfo:
             SGD([], lr=0.1)
+        # Typed error that stays catchable as the historical ValueError.
+        assert isinstance(excinfo.value, ConfigError)
 
 
 class TestAdam:

@@ -1,6 +1,5 @@
 """Batch-size predictor: binary search (Alg. 2), plane division (Alg. 3)."""
 
-import math
 
 import numpy as np
 import pytest
@@ -70,7 +69,7 @@ class TestFunctionFitting:
         groups = np.array([5, 10, 25, 50, 10, 20, 5, 40], dtype=float)
         truth = 1.0 / (1e-4 * lengths * groups + 1e-3 * lengths + 1e-2)
         fit = fit_best_function(lengths, groups, truth)
-        predictions = np.array([fit(l, g) for l, g in zip(lengths, groups)])
+        predictions = np.array([fit(length, g) for length, g in zip(lengths, groups)])
         assert np.abs(predictions - truth).max() / truth.max() < 0.05
 
     def test_constant_fallback_on_degenerate_data(self):

@@ -8,7 +8,6 @@ chunked engine execution, and the micro-batcher's timed ``result`` /
 
 from __future__ import annotations
 
-import threading
 import time
 
 import numpy as np

@@ -1,9 +1,8 @@
 """Simulated GPU: byte accounting and OOM semantics."""
 
-import numpy as np
 import pytest
 
-from repro.errors import SimulatedOOMError
+from repro.errors import ConfigError, SimulatedOOMError
 from repro.simgpu import (
     DEFAULT_CAPACITY,
     MemoryModel,
@@ -46,8 +45,10 @@ class TestAttentionAccounting:
             assert b <= 2.2 * a, kind
 
     def test_unknown_kind_raises(self, model):
-        with pytest.raises(ValueError):
+        with pytest.raises(ValueError) as excinfo:
             model.attention_elements("flash", 100)
+        # Typed error that stays catchable as the historical ValueError.
+        assert isinstance(excinfo.value, ConfigError)
 
 
 class TestStepBytes:

@@ -1,14 +1,11 @@
 """Experiments module: tables, index, scales, CLI."""
 
-import numpy as np
-import pytest
 
 from repro.experiments import (
     BENCH,
     EXPERIMENT_INDEX,
     METHODS,
     SMOKE,
-    ExperimentScale,
     build_model,
     format_table,
     method_display_name,

@@ -10,7 +10,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-import repro
 from repro.data import ArrayDataset
 from repro.errors import ConfigError
 from repro.model import RitaConfig, RitaModel

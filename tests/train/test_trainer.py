@@ -4,12 +4,12 @@ import numpy as np
 import pytest
 
 import repro
-from repro.data import ArrayDataset, DataLoader, Scaler
+from repro.data import ArrayDataset
 from repro.errors import ConfigError, SimulatedOOMError
 from repro.model import RitaConfig, RitaModel
 from repro.scheduler import AdaptiveScheduler, BatchSizePredictor
 from repro.simgpu import SimulatedGPU
-from repro.tasks import ClassificationTask, ImputationTask
+from repro.tasks import ClassificationTask
 from repro.train import History, Trainer, evaluate_task
 from repro.train.trainer import EpochStats
 
