@@ -33,9 +33,6 @@ absolute seconds, across machines.
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
 import time
 from pathlib import Path
 import sys
@@ -43,6 +40,9 @@ import sys
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import bench_meta, emit_payload, parse_bench_args
 
 import repro.kernels as K
 from repro.attention.group import GroupAttention
@@ -194,13 +194,7 @@ def acceptance_summary(grid: list[dict]) -> dict | None:
 
 
 def main(argv: list[str] | None = None) -> dict:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("out", nargs="?", default=None, help="output JSON path")
-    parser.add_argument(
-        "--smoke", action="store_true",
-        help="tiny grid (seconds): CI guard that the script still runs",
-    )
-    args = parser.parse_args(argv)
+    args = parse_bench_args(__doc__, argv)
 
     if args.smoke:
         lengths, group_sizes, steps, warmup = (64,), (8,), 3, 1
@@ -211,27 +205,19 @@ def main(argv: list[str] | None = None) -> dict:
 
     grid = run_grid(lengths, group_sizes, steps, warmup)
     payload = {
-        "meta": {
-            "python": platform.python_version(),
-            "numpy": np.version.version,
-            "machine": platform.machine(),
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            "smoke": args.smoke,
-            "geometry": {"batch": BATCH, "heads": HEADS, "head_dim": HEAD_DIM},
-            "strategies": {
+        "meta": bench_meta(
+            smoke=args.smoke,
+            geometry={"batch": BATCH, "heads": HEADS, "head_dim": HEAD_DIM},
+            strategies={
                 "legacy": "pre-refactor np.add.at kmeans, cold init every step",
                 "cold": "kernel-routed kmeans, cold init every step",
                 "warm": "kernel-routed kmeans, centroid warm start",
                 "amortized": "warm start + recluster_every=4 partition reuse",
             },
-        },
+        ),
         "grid": grid,
         "acceptance": acceptance_summary(grid),
     }
-
-    default_name = "BENCH_grouping_smoke.json" if args.smoke else "BENCH_grouping.json"
-    out_file = Path(args.out) if args.out else Path(__file__).parent / default_name
-    out_file.write_text(json.dumps(payload, indent=2) + "\n")
 
     if payload["acceptance"] is not None:
         acc = payload["acceptance"]
@@ -242,7 +228,7 @@ def main(argv: list[str] | None = None) -> dict:
             f"= {acc['speedup']:.2f}x (target >= {acc['target_speedup']}x; "
             f"met={acc['meets_target']})"
         )
-    print(f"wrote {out_file}")
+    emit_payload(payload, "grouping", args.out, smoke=args.smoke)
     return payload
 
 

@@ -12,18 +12,17 @@ Measures, on this machine:
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/bench_kernels.py [out.json]
+    PYTHONPATH=src python benchmarks/bench_kernels.py [out.json] [--smoke]
 
-Emits ``benchmarks/BENCH_kernels.json`` by default.  Numbers are
-wall-clock on whatever machine runs this, so compare ratios, not absolute
-seconds, across machines.
+Emits ``benchmarks/BENCH_kernels.json`` by default.  ``--smoke`` runs a
+tiny geometry (seconds, exercised by CI) so the script cannot rot.
+Numbers are wall-clock on whatever machine runs this, so compare ratios,
+not absolute seconds, across machines.
 """
 
 from __future__ import annotations
 
-import json
 import math
-import platform
 import sys
 import time
 from pathlib import Path
@@ -31,6 +30,9 @@ from pathlib import Path
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import bench_meta, emit_payload, parse_bench_args
 
 import repro.kernels as K
 from repro.attention.group import GroupAttention
@@ -190,22 +192,24 @@ def bench_tokens_per_second(lengths=(256, 1024, 4096), repeats: int = 3) -> dict
     return results
 
 
-def main(out_path: str | None = None) -> dict:
-    out_file = Path(out_path) if out_path else Path(__file__).parent / "BENCH_kernels.json"
+def main(argv: list[str] | None = None) -> dict:
+    args = parse_bench_args(__doc__, argv)
+    if args.smoke:
+        fwd_bwd = bench_group_forward_backward(n=128, repeats=1)
+        tokens = bench_tokens_per_second(lengths=(64,), repeats=1)
+    else:
+        fwd_bwd = bench_group_forward_backward()
+        tokens = bench_tokens_per_second()
     payload = {
-        "meta": {
-            "python": platform.python_version(),
-            "numpy": np.version.version,
-            "machine": platform.machine(),
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            "kernel_backends": K.available_backends(),
-            "geometry": {"batch": BATCH, "heads": HEADS, "head_dim": HEAD_DIM,
-                         "n_groups": N_GROUPS},
-        },
-        "group_attention_forward_backward": bench_group_forward_backward(),
-        "tokens_per_second": bench_tokens_per_second(),
+        "meta": bench_meta(
+            smoke=args.smoke,
+            kernel_backends=K.available_backends(),
+            geometry={"batch": BATCH, "heads": HEADS, "head_dim": HEAD_DIM,
+                      "n_groups": N_GROUPS},
+        ),
+        "group_attention_forward_backward": fwd_bwd,
+        "tokens_per_second": tokens,
     }
-    out_file.write_text(json.dumps(payload, indent=2) + "\n")
 
     fb = payload["group_attention_forward_backward"]
     print(f"group attention fwd+bwd n={fb['n']}:")
@@ -218,9 +222,9 @@ def main(out_path: str | None = None) -> dict:
                 f"n={n}: {v['tokens_per_second']:,.0f} tok/s" for n, v in per_length.items()
             )
             print(f"{kind:8s} {dtype_name}: {rates}")
-    print(f"wrote {out_file}")
+    emit_payload(payload, "kernels", args.out, smoke=args.smoke)
     return payload
 
 
 if __name__ == "__main__":
-    main(sys.argv[1] if len(sys.argv) > 1 else None)
+    main()

@@ -18,19 +18,18 @@ Measures, on this machine:
 
 Run from the repo root::
 
-    PYTHONPATH=src python benchmarks/bench_parallel.py [out.json]
-    PYTHONPATH=src python benchmarks/bench_parallel.py --smoke   # CI: tiny sizes, no file
+    PYTHONPATH=src python benchmarks/bench_parallel.py [out.json] [--smoke]
 
-Emits ``benchmarks/BENCH_parallel.json`` by default.  Wall-clock numbers
-are machine-specific; compare ratios, not absolute seconds.
+Emits ``benchmarks/BENCH_parallel.json`` (``--smoke``:
+``BENCH_parallel_smoke.json`` — tiny sizes, exercised by CI) by default.
+Wall-clock numbers are machine-specific; compare ratios, not absolute
+seconds.
 """
 
 from __future__ import annotations
 
-import json
 import math
 import os
-import platform
 import sys
 import time
 from pathlib import Path
@@ -38,6 +37,9 @@ from pathlib import Path
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import bench_meta, emit_payload, parse_bench_args
 
 import repro.kernels as K
 from repro.autograd.tensor import Tensor
@@ -215,9 +217,20 @@ def bench_multiprocessing_eval(
     }
 
 
-def main(out_path: str | None = None, smoke: bool = False) -> dict:
-    if smoke:
+def main(argv: list[str] | None = None) -> dict:
+    args = parse_bench_args(__doc__, argv)
+    meta = bench_meta(
+        smoke=args.smoke,
+        physical_cores=_physical_cores(),
+        kernel_backends=K.available_backends(),
+        geometry={"batch": BATCH, "heads": HEADS, "head_dim": HEAD_DIM,
+                  "n_groups": N_GROUPS},
+    )
+    if args.smoke:
+        # The mp-eval arm costs ~1s of spawn+import per worker; the smoke
+        # tier skips it and shrinks the kernel cells to seconds.
         payload = {
+            "meta": meta,
             "thread_sweep": bench_thread_sweep(n=128, repeats=1),
             "small_input_no_regression": bench_small_input_no_regression(n=64, repeats=1),
         }
@@ -225,25 +238,15 @@ def main(out_path: str | None = None, smoke: bool = False) -> dict:
         print("smoke ok:", {t: f"{v['seconds_per_step']*1e3:.1f} ms" for t, v in sweep.items()})
         small = payload["small_input_no_regression"]
         print(f"small-input overhead ratio: {small['overhead_ratio']:.3f}")
+        emit_payload(payload, "parallel", args.out, smoke=True)
         return payload
 
-    out_file = Path(out_path) if out_path else Path(__file__).parent / "BENCH_parallel.json"
     payload = {
-        "meta": {
-            "python": platform.python_version(),
-            "numpy": np.version.version,
-            "machine": platform.machine(),
-            "physical_cores": _physical_cores(),
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            "kernel_backends": K.available_backends(),
-            "geometry": {"batch": BATCH, "heads": HEADS, "head_dim": HEAD_DIM,
-                         "n_groups": N_GROUPS},
-        },
+        "meta": meta,
         "thread_sweep": bench_thread_sweep(),
         "small_input_no_regression": bench_small_input_no_regression(),
         "multiprocessing_eval": bench_multiprocessing_eval(),
     }
-    out_file.write_text(json.dumps(payload, indent=2) + "\n")
 
     sweep = payload["thread_sweep"]
     print(f"group attention fwd+bwd n={sweep['n']} (parallel backend):")
@@ -259,12 +262,9 @@ def main(out_path: str | None = None, smoke: bool = False) -> dict:
     mp = payload["multiprocessing_eval"]
     print(f"mp eval: serial {mp['serial_seconds']:.2f}s vs 2 workers "
           f"{mp['two_worker_seconds']:.2f}s")
-    print(f"wrote {out_file}")
+    emit_payload(payload, "parallel", args.out, smoke=False)
     return payload
 
 
 if __name__ == "__main__":
-    args = [a for a in sys.argv[1:]]
-    smoke = "--smoke" in args
-    paths = [a for a in args if a != "--smoke"]
-    main(paths[0] if paths else None, smoke=smoke)
+    main()

@@ -37,9 +37,6 @@ a tiny load (seconds, exercised by CI) so the script cannot rot.
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
 import threading
 import time
 from pathlib import Path
@@ -48,6 +45,9 @@ import sys
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import bench_meta, emit_payload, parse_bench_args
 
 import repro
 from repro.errors import (
@@ -246,13 +246,7 @@ def run_load(artifact, requests, *, n_workers, rate_per_s, deadline_s,
 
 
 def main(argv: list[str] | None = None) -> dict:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("out", nargs="?", default=None, help="output JSON path")
-    parser.add_argument(
-        "--smoke", action="store_true",
-        help="tiny load (seconds): CI guard that the script still runs",
-    )
-    args = parser.parse_args(argv)
+    args = parse_bench_args(__doc__, argv)
 
     if args.smoke:
         n_workers, n_requests, rate_per_s = 2, 24, 30.0
@@ -293,34 +287,26 @@ def main(argv: list[str] | None = None) -> dict:
     }
 
     payload = {
-        "meta": {
-            "python": platform.python_version(),
-            "numpy": np.version.version,
-            "machine": platform.machine(),
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            "smoke": args.smoke,
-            "chaos": {
+        "meta": bench_meta(
+            smoke=args.smoke,
+            chaos={
                 "seed": CHAOS_SEED,
                 "kills": {str(k): list(v) for k, v in kill_at.items()},
                 "delay_rate": delay_rate,
                 "delay_s": delay_s,
             },
-            "cluster": {
+            cluster={
                 "n_workers": n_workers,
                 "deadline_s": deadline_s,
                 "attempt_timeout_s": 0.12,
                 "max_redelivery": 3,
             },
-            "geometry": {"dim": 8, "n_heads": 2, "n_layers": 1,
-                         "lengths": "8..48", "channels": 2},
-        },
+            geometry={"dim": 8, "n_heads": 2, "n_layers": 1,
+                      "lengths": "8..48", "channels": 2},
+        ),
         "run": run,
         "acceptance": acceptance,
     }
-
-    default_name = "BENCH_resilience_smoke.json" if args.smoke else "BENCH_resilience.json"
-    out_file = Path(args.out) if args.out else Path(__file__).parent / default_name
-    out_file.write_text(json.dumps(payload, indent=2) + "\n")
 
     print(
         f"availability: {run['availability']:.4f} for {run['admitted']} admitted "
@@ -337,7 +323,7 @@ def main(argv: list[str] | None = None) -> dict:
         f"bitwise mismatches={run['bitwise_mismatches']} "
         f"untyped={run['untyped_failures']} hung={run['hung_requests']}"
     )
-    print(f"wrote {out_file}")
+    emit_payload(payload, "resilience", args.out, smoke=args.smoke)
     return payload
 
 

@@ -38,9 +38,6 @@ tiny geometry (seconds, exercised by CI) so the script cannot rot.
 
 from __future__ import annotations
 
-import argparse
-import json
-import platform
 import statistics
 import time
 from pathlib import Path
@@ -49,6 +46,9 @@ import sys
 import numpy as np
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from common import bench_meta, emit_payload, parse_bench_args
 
 import repro
 from repro.serve import InferenceEngine, MicroBatcher, StreamingSession
@@ -226,13 +226,7 @@ def run_streaming(length: int, step: int, n_appends: int, rounds: int) -> dict:
 
 
 def main(argv: list[str] | None = None) -> dict:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("out", nargs="?", default=None, help="output JSON path")
-    parser.add_argument(
-        "--smoke", action="store_true",
-        help="tiny geometry (seconds): CI guard that the script still runs",
-    )
-    args = parser.parse_args(argv)
+    args = parse_bench_args(__doc__, argv)
 
     if args.smoke:
         length, n_requests, batch_sizes, rounds = 64, 8, (4,), 1
@@ -264,13 +258,9 @@ def main(argv: list[str] | None = None) -> dict:
     }
 
     payload = {
-        "meta": {
-            "python": platform.python_version(),
-            "numpy": np.version.version,
-            "machine": platform.machine(),
-            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
-            "smoke": args.smoke,
-            "geometry": {
+        "meta": bench_meta(
+            smoke=args.smoke,
+            geometry={
                 "series_length": length,
                 "dim": 8,
                 "n_heads": 1,
@@ -278,7 +268,7 @@ def main(argv: list[str] | None = None) -> dict:
                 "n_groups": 64,
                 "n_requests": n_requests,
             },
-            "arms": {
+            arms={
                 "naive_loop": "batch-of-one engine calls, training grouping config "
                               "(recluster every request) — the legacy serving pattern",
                 "batched_bs*": "MicroBatcher at the given batch size, training "
@@ -287,15 +277,11 @@ def main(argv: list[str] | None = None) -> dict:
                                      f"(recluster_every={SERVING_RECLUSTER_EVERY}, "
                                      "Lemma-1 drift guard) — the full serve stack",
             },
-        },
+        ),
         "microbatch": microbatch,
         "streaming": streaming,
         "acceptance": acceptance,
     }
-
-    default_name = "BENCH_serving_smoke.json" if args.smoke else "BENCH_serving.json"
-    out_file = Path(args.out) if args.out else Path(__file__).parent / default_name
-    out_file.write_text(json.dumps(payload, indent=2) + "\n")
 
     mb = acceptance["microbatch"]
     print(
@@ -309,7 +295,7 @@ def main(argv: list[str] | None = None) -> dict:
         f"{streaming['streaming_seconds']:.3f}s streamed = {st['speedup']:.2f}x "
         f"(target >= {st['target_speedup']}x; met={st['meets_target']})"
     )
-    print(f"wrote {out_file}")
+    emit_payload(payload, "serving", args.out, smoke=args.smoke)
     return payload
 
 

@@ -1,0 +1,64 @@
+"""Shared scaffolding for the ``bench_*.py`` sweep scripts.
+
+Every sweep script follows the same contract::
+
+    def main(argv: list[str] | None = None) -> dict:
+        args = parse_bench_args(__doc__, argv)
+        payload = {"meta": bench_meta(smoke=args.smoke, ...), ...}
+        emit_payload(payload, "kernels", args.out, smoke=args.smoke)
+        return payload
+
+* ``[out] [--smoke]`` CLI (positional output path, tiny-geometry flag);
+* a ``meta`` block recording interpreter/NumPy/machine/timestamp;
+* ``BENCH_<name>.json`` (or ``BENCH_<name>_smoke.json``) written as
+  ``json.dumps(payload, indent=2) + "\\n"`` — the byte format
+  ``repro.experiments.grid.render`` reproduces from the database;
+* the payload returned so the grid's ``bench_script`` runner (and
+  tests) can consume it without re-reading the file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def parse_bench_args(doc: str | None, argv: list[str] | None = None) -> argparse.Namespace:
+    """The shared ``[out] [--smoke]`` command line."""
+    parser = argparse.ArgumentParser(description=(doc or "").splitlines()[0])
+    parser.add_argument("out", nargs="?", default=None, help="output JSON path")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny geometry (seconds): CI guard that the script still runs",
+    )
+    return parser.parse_args(argv)
+
+
+def bench_meta(*, smoke: bool = False, **extra) -> dict:
+    """The run-environment block every ``BENCH_*.json`` carries."""
+    meta = {
+        "python": platform.python_version(),
+        "numpy": np.version.version,
+        "machine": platform.machine(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "smoke": smoke,
+    }
+    meta.update(extra)
+    return meta
+
+
+def emit_payload(payload: dict, bench_name: str, out: str | None, *,
+                 smoke: bool = False) -> Path:
+    """Write the payload JSON and say where it went."""
+    default_name = f"BENCH_{bench_name}_smoke.json" if smoke else f"BENCH_{bench_name}.json"
+    out_file = Path(out) if out else BENCH_DIR / default_name
+    out_file.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {out_file}")
+    return out_file

@@ -10,7 +10,6 @@ file uses proper rounds).
 
 from __future__ import annotations
 
-import datetime
 import os
 import pathlib
 import platform
@@ -20,11 +19,22 @@ import pytest
 
 import repro
 import repro.kernels
+from repro.experiments.grid import provenance as grid_provenance
+from repro.experiments.grid.render import PYTEST_RECORD_GRID, PYTEST_RECORD_RUNNER
+from repro.experiments.grid.store import GridStore
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 _RUN_STAMP: str | None = None
+
+
+def _run_stamp() -> str:
+    """Session-stable UTC timestamp: every file from one run matches."""
+    global _RUN_STAMP
+    if _RUN_STAMP is None:
+        _RUN_STAMP = grid_provenance.utc_now()
+    return _RUN_STAMP
 
 
 def provenance_line() -> str:
@@ -35,16 +45,12 @@ def provenance_line() -> str:
     The timestamp is captured once per pytest session, so every file from
     one run carries the *identical* line — differing ``# run:`` lines in
     the results directory therefore reliably mean a mixed-run mosaic.
+    Formatting lives in ``repro.experiments.grid.provenance.run_line`` so
+    ``grid render`` regenerates these files byte-for-byte.
     """
-    global _RUN_STAMP
-    if _RUN_STAMP is None:
-        _RUN_STAMP = datetime.datetime.now(datetime.timezone.utc).strftime(
-            "%Y-%m-%dT%H:%M:%SZ"
-        )
-    return (
-        f"# run: {_RUN_STAMP} · {platform.platform()} · "
-        f"Python {platform.python_version()} · NumPy {np.__version__} · "
-        f"{os.cpu_count()} CPUs"
+    return grid_provenance.run_line(
+        _run_stamp(), platform.platform(), platform.python_version(),
+        np.__version__, os.cpu_count(),
     )
 
 
@@ -100,6 +106,30 @@ def record(results_dir, request):
         for name, text in pending:
             path = results_dir / f"{name}.txt"
             path.write_text(text + "\n" + provenance_line() + "\n")
+            _log_to_grid(name, text)
+
+
+def _log_to_grid(name: str, text: str) -> None:
+    """Mirror a passing result into the experiment grid database.
+
+    Only when ``RITA_GRID_DB`` points at an initialized grid database
+    (see ``python -m repro.experiments.grid init``): the cell carries the
+    same text and the same environment columns as the ``# run:`` stamp,
+    so ``grid render`` can reproduce the file and provenance questions
+    become SQL (EXPERIMENTS.md 'Regeneration policy').
+    """
+    db_path = os.environ.get("RITA_GRID_DB")
+    if not db_path:
+        return
+    with GridStore(db_path) as store:
+        store.log_external(
+            PYTEST_RECORD_GRID,
+            PYTEST_RECORD_RUNNER,
+            {"artifact": name},
+            {"text": text},
+            provenance=grid_provenance.capture(rita_seed=2024),
+            started_utc=_run_stamp(),
+        )
 
 
 def run_once(benchmark, fn):

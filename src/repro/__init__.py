@@ -36,6 +36,9 @@ from repro.errors import (
     ConfigError,
     DeadlineExceededError,
     GradError,
+    GridError,
+    GridSchemaError,
+    GridStateError,
     IntegrityError,
     OverloadError,
     ReproError,
@@ -96,6 +99,9 @@ __all__ = [
     "ConfigError",
     "DeadlineExceededError",
     "GradError",
+    "GridError",
+    "GridSchemaError",
+    "GridStateError",
     "IntegrityError",
     "OverloadError",
     "ReproError",

@@ -34,6 +34,7 @@ rank  module prefixes
 9     ``optim``
 10    ``train``
 11    ``experiments``
+12    ``experiments.grid`` (the harness drives every runner below it)
 ====  ==============================================================
 
 ``repro`` itself (the package root) is the public facade re-exporting
@@ -76,6 +77,7 @@ LAYER_RANKS = {
     "repro.optim": 9,
     "repro.train": 10,
     "repro.experiments": 11,
+    "repro.experiments.grid": 12,
 }
 
 #: (importer prefix, imported prefix) pairs forbidden even when the

@@ -14,10 +14,15 @@ Two checks:
   ``repro.*`` library code is a finding; raise a
   :class:`~repro.errors.ReproError` subclass instead (most subclasses
   also inherit the builtin they replace, so external callers keep
-  working).  Protocol-mandated exceptions stay legal:
-  ``NotImplementedError`` (abstract interfaces), ``StopIteration``
-  (iterators), ``AttributeError`` inside ``__getattr__``/
-  ``__getattribute__``, and ``SystemExit`` inside ``__main__`` modules.
+  working).  Dotted raises resolve too: re-raising a *driver* exception
+  (``raise sqlite3.OperationalError(...)``) is a finding anywhere — the
+  experiment grid (PR 9) made this a public-surface requirement: sqlite
+  faults must surface as :class:`~repro.errors.GridError` with the
+  driver exception as ``__cause__``, never bare.  Protocol-mandated
+  exceptions stay legal: ``NotImplementedError`` (abstract interfaces),
+  ``StopIteration`` (iterators), ``AttributeError`` inside
+  ``__getattr__``/``__getattribute__``, and ``SystemExit`` inside
+  ``__main__`` modules.
 
 * **swallowing** — a bare ``except:`` is a finding anywhere (it catches
   ``KeyboardInterrupt``/``SystemExit``); an ``except Exception:`` whose
@@ -35,7 +40,7 @@ from typing import Iterator
 
 from repro.analysis.core import Rule, SourceModule, register_rule
 
-__all__ = ["TypedErrorsRule", "BANNED_RAISES"]
+__all__ = ["TypedErrorsRule", "BANNED_RAISES", "BANNED_RAISE_PREFIXES"]
 
 BANNED_RAISES = {
     "ValueError",
@@ -52,16 +57,28 @@ BANNED_RAISES = {
     "IOError",
 }
 
+#: Dotted-name prefixes whose exceptions must never cross the public
+#: surface raw: wrap the driver fault in the typed error (cause kept).
+BANNED_RAISE_PREFIXES = ("sqlite3.",)
+
 _PROTOCOL_ATTRIBUTE_FUNCS = {"__getattr__", "__getattribute__"}
+
+
+def _dotted_name(node: ast.expr) -> str | None:
+    """Resolve ``Name`` / ``Attribute`` chains to ``a.b.c`` strings."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted_name(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
 
 
 def _raised_name(node: ast.Raise) -> str | None:
     exc = node.exc
     if isinstance(exc, ast.Call):
         exc = exc.func
-    if isinstance(exc, ast.Name):
-        return exc.id
-    return None
+    return _dotted_name(exc)
 
 
 def _body_only_passes(body: list[ast.stmt]) -> bool:
@@ -105,6 +122,16 @@ class _Visitor(ast.NodeVisitor):
                     f"library code raises untyped {name}; raise a "
                     f"repro.errors.ReproError subclass (ConfigError/ShapeError/"
                     f"...) so callers can catch one base class",
+                )
+            )
+        elif name is not None and name.startswith(BANNED_RAISE_PREFIXES):
+            self.findings.append(
+                (
+                    node,
+                    f"library code raises driver exception {name} at the "
+                    f"public surface; wrap it in a repro.errors.ReproError "
+                    f"subclass (e.g. GridError) with the driver fault as "
+                    f"__cause__",
                 )
             )
         self.generic_visit(node)

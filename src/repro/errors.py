@@ -92,6 +92,36 @@ class IntegrityError(ServingError):
     """
 
 
+class GridError(ReproError, RuntimeError):
+    """The experiment grid database refused or failed an operation.
+
+    Every failure surfaced by :mod:`repro.experiments.grid` — schema
+    mismatches, claim conflicts, rendering from an incomplete or failing
+    grid, and wrapped ``sqlite3`` faults — derives from this class, so a
+    sweep driver can catch one type at the CLI boundary.  The underlying
+    ``sqlite3`` exception, when there is one, is preserved as
+    ``__cause__``; it never crosses the public surface bare.
+    """
+
+
+class GridSchemaError(GridError):
+    """The database file exists but its schema version is unusable.
+
+    Raised when opening a database written by a newer schema than this
+    code understands, or a file that is not a grid database at all.
+    Refusing early beats silently misreading provenance columns.
+    """
+
+
+class GridStateError(GridError):
+    """A grid is not in the state the requested operation certifies.
+
+    Examples: rendering a grid with pending/claimed/error cells,
+    finishing a cell whose claim was stolen after a stale-claim expiry,
+    or filling a grid whose stored spec conflicts with the new one.
+    """
+
+
 class SimulatedOOMError(ReproError, MemoryError):
     """The simulated GPU ran out of memory.
 

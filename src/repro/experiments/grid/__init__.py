@@ -1,0 +1,62 @@
+"""repro.experiments.grid — a sqlite-backed experiment database.
+
+The fill → run → render loop (ROADMAP item 4):
+
+* :mod:`~repro.experiments.grid.store` — grids and claimable cells in
+  one SQLite file (WAL, versioned schema, CAS claiming, heartbeats,
+  provenance as real columns);
+* :mod:`~repro.experiments.grid.spec` — declarative parameter spaces
+  expanded into deduplicated cells;
+* :mod:`~repro.experiments.grid.worker` — resumable drain loops; N
+  workers share one database, SIGKILL loses nothing;
+* :mod:`~repro.experiments.grid.render` — regenerate
+  ``benchmarks/results/*.txt`` and ``BENCH_*.json`` from a fully-done
+  grid, byte-compatible with the pytest-driven originals;
+* ``python -m repro.experiments.grid`` — the CLI over all of it.
+"""
+
+from repro.experiments.grid.provenance import capture, run_line, utc_now
+from repro.experiments.grid.render import render_grid, renderable_grids
+from repro.experiments.grid.runners import (
+    available_runners,
+    get_runner,
+    load_runner_modules,
+    register_runner,
+)
+from repro.experiments.grid.spec import SPEC_INDEX, GridSpec, spec_from_dict, spec_from_json
+from repro.experiments.grid.store import (
+    SCHEMA_VERSION,
+    STATUSES,
+    CellRow,
+    Claim,
+    FillReport,
+    GridStore,
+    cell_key,
+)
+from repro.experiments.grid.worker import WorkerConfig, WorkerReport, run_worker
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "STATUSES",
+    "CellRow",
+    "Claim",
+    "FillReport",
+    "GridSpec",
+    "GridStore",
+    "SPEC_INDEX",
+    "WorkerConfig",
+    "WorkerReport",
+    "available_runners",
+    "capture",
+    "cell_key",
+    "get_runner",
+    "load_runner_modules",
+    "register_runner",
+    "render_grid",
+    "renderable_grids",
+    "run_line",
+    "run_worker",
+    "spec_from_dict",
+    "spec_from_json",
+    "utc_now",
+]

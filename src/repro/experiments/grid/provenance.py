@@ -1,0 +1,89 @@
+"""Run-environment provenance: captured per cell, rendered per file.
+
+The benchmark suite has stamped every result artifact with a one-line
+``# run:`` comment since PR 3; the grid database stores the same facts
+as *real columns* so "which environment produced this number" is a SQL
+query.  Both surfaces share the formatting here, which is what lets
+:mod:`repro.experiments.grid.render` regenerate byte-identical files.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import platform
+import subprocess
+
+import numpy as np
+
+__all__ = ["ProvenanceFields", "capture", "run_line", "utc_now", "git_sha"]
+
+#: The per-cell provenance columns, in schema order.
+ProvenanceFields = (
+    "platform",
+    "python_version",
+    "numpy_version",
+    "cpu_count",
+    "kernel_backend",
+    "rita_seed",
+    "git_sha",
+)
+
+_GIT_SHA: str | None = None
+_GIT_SHA_RESOLVED = False
+
+
+def utc_now() -> str:
+    """Current UTC time in the stamp format used since PR 3."""
+    return datetime.datetime.now(datetime.timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ")
+
+
+def git_sha() -> str | None:
+    """HEAD commit of the working tree, or None outside a git checkout.
+
+    Resolved once per process: the SHA cannot change mid-run, and a
+    worker records it on every cell it finishes.
+    """
+    global _GIT_SHA, _GIT_SHA_RESOLVED
+    if not _GIT_SHA_RESOLVED:
+        _GIT_SHA_RESOLVED = True
+        try:
+            _GIT_SHA = subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                capture_output=True, text=True, timeout=10, check=True,
+            ).stdout.strip() or None
+        except (OSError, subprocess.SubprocessError):
+            _GIT_SHA = None
+    return _GIT_SHA
+
+
+def capture(*, kernel_backend: str | None = None, rita_seed: int | None = None) -> dict:
+    """Snapshot the environment fields stored on every finished cell."""
+    if kernel_backend is None:
+        import repro.kernels
+
+        kernel_backend = repro.kernels.get_backend().name
+    return {
+        "platform": platform.platform(),
+        "python_version": platform.python_version(),
+        "numpy_version": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "kernel_backend": kernel_backend,
+        "rita_seed": rita_seed,
+        "git_sha": git_sha(),
+    }
+
+
+def run_line(stamp: str, platform_str: str, python_version: str,
+             numpy_version: str, cpu_count: int) -> str:
+    """The ``# run:`` provenance line stamped on every rendered file.
+
+    Must stay byte-identical to what ``benchmarks/conftest.py`` has
+    written since PR 3 — the renderer and the pytest ``record`` fixture
+    both delegate here.
+    """
+    return (
+        f"# run: {stamp} · {platform_str} · "
+        f"Python {python_version} · NumPy {numpy_version} · "
+        f"{cpu_count} CPUs"
+    )

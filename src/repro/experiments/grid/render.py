@@ -1,0 +1,236 @@
+"""Regenerate result artifacts from the grid database — and only from it.
+
+``render`` is the read side of the fill → run → render story: once a
+grid is *fully done* (every cell ``done``, zero errors), its committed
+artifacts — ``benchmarks/results/*.txt`` tables and ``BENCH_*.json``
+payloads — are a pure function of the database.  The renderer therefore
+refuses anything less:
+
+* an unfinished or partially failed grid (``pending``/``claimed``/
+  ``error`` cells) raises :class:`~repro.errors.GridStateError` — a
+  result file must never mix fresh and missing numbers;
+* a table grid whose cells ran on different machines or interpreter
+  versions raises too (the ``# run:`` stamp would lie about half the
+  rows; the mixed-run mosaic the stamp exists to expose).
+
+Byte-compatibility is by construction, not by effort: tables go through
+the same :func:`repro.experiments.tables.format_table` the benchmarks
+print, the ``# run:`` line comes from the shared
+:func:`repro.experiments.grid.provenance.run_line`, and ``BENCH_*.json``
+files use the same ``json.dumps(payload, indent=2)`` the bench scripts
+write.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import GridError, GridStateError
+from repro.experiments.grid.provenance import run_line
+from repro.experiments.grid.store import CellRow, GridStore
+from repro.experiments.tables import format_table
+
+__all__ = ["render_grid", "renderable_grids", "PYTEST_RECORD_GRID", "PYTEST_RECORD_RUNNER"]
+
+#: The grid/runner names the benchmarks ``record`` fixture logs into
+#: when ``RITA_GRID_DB`` is set (see benchmarks/conftest.py).
+PYTEST_RECORD_GRID = "pytest-benchmarks"
+PYTEST_RECORD_RUNNER = "pytest-record"
+
+_ENV_FIELDS = ("platform", "python_version", "numpy_version", "cpu_count")
+
+
+def _rows(cells: list[CellRow], grid: str) -> list[dict]:
+    rows = []
+    for cell in cells:
+        if not isinstance(cell.result, dict) or "row" not in cell.result:
+            raise GridStateError(
+                f"grid {grid!r} cell {cell.ordinal} has no 'row' in its "
+                f"result; was it produced by a different runner?"
+            )
+        rows.append(cell.result["row"])
+    return rows
+
+
+# ----------------------------------------------------------------------
+# Table families: grid name -> [(artifact_name, table_text), ...]
+# Each must match its benchmarks/test_*.py twin byte-for-byte.
+# ----------------------------------------------------------------------
+def _render_smoke(cells: list[CellRow]) -> list[tuple[str, str]]:
+    table = format_table(
+        _rows(cells, "smoke"),
+        columns=["n", "seed", "total", "checksum"],
+        title="Grid smoke — deterministic integer metric",
+    )
+    return [("grid_smoke", table)]
+
+
+def _render_fig4(cells: list[CellRow]) -> list[tuple[str, str]]:
+    rows = _rows(cells, "fig4_varying_length")
+    table = format_table(
+        rows,
+        columns=["paper_length", "method", "mse", "epoch_seconds", "note"],
+        title="Figure 4 — varying MGH length (imputation)",
+    )
+
+    def rows_for(method: str) -> dict:
+        return {r["paper_length"]: r for r in rows if r["method"] == method}
+
+    vanilla = rows_for("Vanilla")
+    group = rows_for("Group Attn.")
+    try:
+        speedup_2k = vanilla[2000]["epoch_seconds"] / group[2000]["epoch_seconds"]
+        speedup_8k = vanilla[8000]["epoch_seconds"] / group[8000]["epoch_seconds"]
+    except (KeyError, TypeError, ZeroDivisionError) as exc:
+        raise GridStateError(
+            f"fig4 grid is missing the Vanilla/Group rows at lengths "
+            f"2000/8000 needed for the speedup summary: {exc}"
+        ) from exc
+    summary = [{
+        "comparison": "Vanilla/Group epoch-time ratio @2000",
+        "value": speedup_2k,
+    }, {
+        "comparison": "Vanilla/Group epoch-time ratio @8000 (paper's 63x point)",
+        "value": speedup_8k,
+    }]
+    return [
+        ("fig4_varying_length", table),
+        ("fig4_speedup_summary", format_table(summary, title="Figure 4 — speedup summary")),
+    ]
+
+
+def _render_table4_ecg(cells: list[CellRow]) -> list[tuple[str, str]]:
+    table = format_table(
+        _rows(cells, "table4_scheduler_ecg"),
+        columns=["scheduler", "parameter", "metric", "epoch_seconds", "final_groups"],
+        title="Table 4 — adaptive vs fixed N (ECG classification, metric=accuracy)",
+    )
+    return [("table4_scheduler_ecg", table)]
+
+
+_TABLE_FAMILIES: dict[str, Callable[[list[CellRow]], list[tuple[str, str]]]] = {
+    "smoke": _render_smoke,
+    "fig4_varying_length": _render_fig4,
+    "table4_scheduler_ecg": _render_table4_ecg,
+}
+
+
+def renderable_grids() -> list[str]:
+    """Grid names with a table family (bench/pytest grids render too)."""
+    return sorted(_TABLE_FAMILIES)
+
+
+# ----------------------------------------------------------------------
+# Preconditions
+# ----------------------------------------------------------------------
+def _require_all_done(grid: str, cells: list[CellRow]) -> None:
+    if not cells:
+        raise GridStateError(f"grid {grid!r} has no cells; fill it first")
+    unfinished = {c.status for c in cells} - {"done"}
+    if unfinished:
+        tally = {
+            status: sum(c.status == status for c in cells)
+            for status in sorted(unfinished)
+        }
+        raise GridStateError(
+            f"grid {grid!r} is not fully done ({tally}); a rendered "
+            f"artifact only ever comes from a fully passing grid — run "
+            f"workers to completion (and 'reset-errors' + rerun any "
+            f"failures) first"
+        )
+
+
+def _shared_environment(grid: str, cells: list[CellRow]) -> tuple:
+    environments = {
+        tuple(c.provenance.get(f) for f in _ENV_FIELDS) for c in cells
+    }
+    if len(environments) != 1:
+        raise GridStateError(
+            f"grid {grid!r} mixes cells from {len(environments)} different "
+            f"environments; timings are only comparable within one run on "
+            f"one machine — re-run the grid on a single machine before "
+            f"rendering"
+        )
+    return next(iter(environments))
+
+
+def _stamp(cells: list[CellRow]) -> str:
+    stamps = [c.started_utc for c in cells if c.started_utc]
+    if not stamps:
+        raise GridStateError("grid cells carry no started_utc stamps")
+    return min(stamps)
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def render_grid(store: GridStore, grid: str, *, results_dir: str | Path,
+                bench_dir: str | Path | None = None) -> list[Path]:
+    """Write every artifact of one fully-done grid; returns the paths.
+
+    Table grids write ``<results_dir>/<name>.txt`` (table + ``# run:``
+    line); ``bench_script`` grids write ``BENCH_*.json`` into
+    ``bench_dir`` (default: ``results_dir/..``); the pytest-record grid
+    replays the exact text the ``record`` fixture persisted.
+    """
+    runner = store.grid_runner(grid)
+    cells = store.cells(grid)
+    _require_all_done(grid, cells)
+    results_dir = Path(results_dir)
+    bench_dir = Path(bench_dir) if bench_dir is not None else results_dir.parent
+    written: list[Path] = []
+
+    if runner == PYTEST_RECORD_RUNNER:
+        # Each artifact came from its own pytest session: per-cell stamp.
+        results_dir.mkdir(parents=True, exist_ok=True)
+        for cell in cells:
+            artifact = cell.params.get("artifact")
+            text = (cell.result or {}).get("text")
+            if not isinstance(artifact, str) or not isinstance(text, str):
+                raise GridStateError(
+                    f"grid {grid!r} cell {cell.ordinal} is not a pytest "
+                    f"record (needs params.artifact and result.text)"
+                )
+            line = run_line(
+                cell.started_utc or "", *(cell.provenance.get(f) for f in _ENV_FIELDS)
+            )
+            path = results_dir / f"{artifact}.txt"
+            path.write_text(text + "\n" + line + "\n")
+            written.append(path)
+        return written
+
+    if runner == "bench_script":
+        bench_dir.mkdir(parents=True, exist_ok=True)
+        for cell in cells:
+            result = cell.result or {}
+            payload, script = result.get("payload"), result.get("script")
+            if not isinstance(payload, dict) or not isinstance(script, str):
+                raise GridStateError(
+                    f"grid {grid!r} cell {cell.ordinal} has no bench "
+                    f"payload; was it produced by the bench_script runner?"
+                )
+            import json
+
+            name = script.removeprefix("bench_")
+            suffix = "_smoke" if result.get("smoke") else ""
+            path = bench_dir / f"BENCH_{name}{suffix}.json"
+            path.write_text(json.dumps(payload, indent=2) + "\n")
+            written.append(path)
+        return written
+
+    family = _TABLE_FAMILIES.get(grid)
+    if family is None:
+        raise GridError(
+            f"no renderer for grid {grid!r} (runner {runner!r}); known "
+            f"table families: {renderable_grids()}, plus the "
+            f"'bench_script' and {PYTEST_RECORD_RUNNER!r} runners"
+        )
+    environment = _shared_environment(grid, cells)
+    line = run_line(_stamp(cells), *environment)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    for artifact, table in family(cells):
+        path = results_dir / f"{artifact}.txt"
+        path.write_text(table + "\n" + line + "\n")
+        written.append(path)
+    return written

@@ -1,0 +1,570 @@
+"""SQLite-backed experiment store: claimable cells with provenance columns.
+
+One database holds any number of *grids*; each grid is a set of *cells*
+(one parameterised experiment each) that move through
+``pending → claimed → done | error``.  The design goals, in order:
+
+* **N workers, zero double-runs.**  Claiming is an atomic
+  compare-and-swap ``UPDATE`` on the observed ``(status, heartbeat)``
+  pair — two workers racing for the same cell cannot both see
+  ``rowcount == 1``.  Every claim carries a fresh token; finishing a
+  cell checks the token, so a worker whose stale claim was expired and
+  re-claimed by someone else cannot overwrite the new owner's result.
+* **SIGKILL-proof.**  Workers heartbeat their claimed cell; a claim
+  whose heartbeat is older than the staleness budget is re-claimable.
+  A killed worker therefore delays its cell, never loses it.
+* **Provenance as columns.**  The ``# run:`` stamp fields that result
+  files have carried since PR 3 (UTC start/end, platform, Python/NumPy
+  versions, CPU count) plus kernel backend, RITA seed and git SHA are
+  real columns, so "is this number from a passing run on this machine?"
+  is a query, not a convention.
+
+The store is *not* shared between threads: each worker (and the
+heartbeat thread) opens its own :class:`GridStore` on the same path.
+WAL mode keeps concurrent claimants from serialising on reads.
+
+No ``sqlite3`` exception crosses the public surface — every operation
+wraps driver faults into :class:`repro.errors.GridError` (cause
+preserved).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import sqlite3
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.errors import GridError, GridSchemaError, GridStateError
+from repro.experiments.grid.provenance import utc_now
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "STATUSES",
+    "Claim",
+    "CellRow",
+    "FillReport",
+    "GridStore",
+    "cell_key",
+]
+
+#: Bump on any incompatible schema change; newer files are refused.
+SCHEMA_VERSION = 1
+
+STATUSES = ("pending", "claimed", "done", "error")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS grids (
+    name        TEXT PRIMARY KEY,
+    runner      TEXT NOT NULL,
+    spec        TEXT,
+    created_utc TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cells (
+    id              INTEGER PRIMARY KEY,
+    grid            TEXT NOT NULL REFERENCES grids(name),
+    ordinal         INTEGER NOT NULL,
+    cell_key        TEXT NOT NULL,
+    params          TEXT NOT NULL,
+    runner          TEXT NOT NULL,
+    status          TEXT NOT NULL DEFAULT 'pending'
+                    CHECK (status IN ('pending', 'claimed', 'done', 'error')),
+    attempts        INTEGER NOT NULL DEFAULT 0,
+    claimed_by      TEXT,
+    claim_token     TEXT,
+    heartbeat       REAL,
+    started_utc     TEXT,
+    finished_utc    TEXT,
+    result          TEXT,
+    error_type      TEXT,
+    error_message   TEXT,
+    error_traceback TEXT,
+    platform        TEXT,
+    python_version  TEXT,
+    numpy_version   TEXT,
+    cpu_count       INTEGER,
+    kernel_backend  TEXT,
+    rita_seed       INTEGER,
+    git_sha         TEXT,
+    UNIQUE (grid, cell_key)
+);
+CREATE INDEX IF NOT EXISTS idx_cells_grid_status ON cells (grid, status);
+"""
+
+
+def cell_key(params: dict) -> str:
+    """Canonical key for one cell: sorted-key compact JSON of its params.
+
+    Re-filling a grid computes the same key for the same parameters, so
+    existing cells (and their results) are never duplicated or lost.
+    """
+    try:
+        return json.dumps(params, sort_keys=True, separators=(",", ":"))
+    except (TypeError, ValueError) as exc:
+        raise GridError(f"cell params are not JSON-encodable: {exc}") from exc
+
+
+@contextlib.contextmanager
+def _wrapped(operation: str) -> Iterator[None]:
+    """Translate driver faults into the typed error at the boundary."""
+    try:
+        yield
+    except sqlite3.Error as exc:
+        raise GridError(f"sqlite failure during {operation}: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class Claim:
+    """A successfully claimed cell; the token proves current ownership."""
+
+    cell_id: int
+    grid: str
+    ordinal: int
+    runner: str
+    params: dict
+    token: str
+    attempts: int
+    started_utc: str
+
+
+@dataclass(frozen=True)
+class CellRow:
+    """One cell row with JSON columns decoded."""
+
+    cell_id: int
+    grid: str
+    ordinal: int
+    cell_key: str
+    params: dict
+    runner: str
+    status: str
+    attempts: int
+    claimed_by: str | None
+    heartbeat: float | None
+    started_utc: str | None
+    finished_utc: str | None
+    result: dict | None
+    error_type: str | None
+    error_message: str | None
+    error_traceback: str | None
+    provenance: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FillReport:
+    """Outcome of one fill: how many cells were new vs already present."""
+
+    grid: str
+    inserted: int
+    existing: int
+
+
+_CELL_COLUMNS = (
+    "id, grid, ordinal, cell_key, params, runner, status, attempts, "
+    "claimed_by, heartbeat, started_utc, finished_utc, result, "
+    "error_type, error_message, error_traceback, "
+    "platform, python_version, numpy_version, cpu_count, "
+    "kernel_backend, rita_seed, git_sha"
+)
+
+_PROVENANCE_COLUMNS = (
+    "platform", "python_version", "numpy_version", "cpu_count",
+    "kernel_backend", "rita_seed", "git_sha",
+)
+
+
+def _row_to_cell(row: tuple) -> CellRow:
+    return CellRow(
+        cell_id=row[0], grid=row[1], ordinal=row[2], cell_key=row[3],
+        params=json.loads(row[4]), runner=row[5], status=row[6],
+        attempts=row[7], claimed_by=row[8], heartbeat=row[9],
+        started_utc=row[10], finished_utc=row[11],
+        result=json.loads(row[12]) if row[12] is not None else None,
+        error_type=row[13], error_message=row[14], error_traceback=row[15],
+        provenance=dict(zip(_PROVENANCE_COLUMNS, row[16:23])),
+    )
+
+
+class GridStore:
+    """One connection to a grid database (single-thread use)."""
+
+    def __init__(self, path: str, *, create: bool = False,
+                 busy_timeout_s: float = 30.0) -> None:
+        self.path = str(path)
+        with _wrapped(f"open {self.path!r}"):
+            # Autocommit mode: single-statement writes are atomic, and
+            # multi-statement sections take explicit BEGIN IMMEDIATE.
+            self._conn = sqlite3.connect(
+                self.path, timeout=busy_timeout_s, isolation_level=None
+            )
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+            if version == 0:
+                has_cells = self._conn.execute(
+                    "SELECT name FROM sqlite_master WHERE name = 'cells'"
+                ).fetchone()
+                if has_cells is None:
+                    if not create:
+                        self._conn.close()
+                        raise GridSchemaError(
+                            f"{self.path!r} is not an initialized grid "
+                            f"database; run 'grid init' (or pass create=True)"
+                        )
+                    self._conn.executescript(_SCHEMA)
+                    self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+                else:
+                    self._conn.close()
+                    raise GridSchemaError(
+                        f"{self.path!r} has a cells table but no schema "
+                        f"version; not a grid database written by this code"
+                    )
+            elif version > SCHEMA_VERSION:
+                self._conn.close()
+                raise GridSchemaError(
+                    f"{self.path!r} uses grid schema v{version}; this code "
+                    f"understands up to v{SCHEMA_VERSION} — upgrade the code, "
+                    f"not the file"
+                )
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        with _wrapped("close"):
+            self._conn.close()
+
+    def __enter__(self) -> "GridStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- grid + cell definition ----------------------------------------
+    def ensure_grid(self, name: str, runner: str, spec_json: str | None = None) -> None:
+        """Create the grid row, or verify it matches an existing one."""
+        with _wrapped(f"ensure_grid {name!r}"):
+            existing = self._conn.execute(
+                "SELECT runner FROM grids WHERE name = ?", (name,)
+            ).fetchone()
+            if existing is None:
+                self._conn.execute(
+                    "INSERT INTO grids (name, runner, spec, created_utc) "
+                    "VALUES (?, ?, ?, ?)",
+                    (name, runner, spec_json, utc_now()),
+                )
+            elif existing[0] != runner:
+                raise GridStateError(
+                    f"grid {name!r} already exists with runner "
+                    f"{existing[0]!r}; refusing to re-fill it with runner "
+                    f"{runner!r}"
+                )
+
+    def fill(self, name: str, runner: str, cells: list[dict],
+             spec_json: str | None = None) -> FillReport:
+        """Insert missing cells; existing (grid, key) pairs are kept as-is.
+
+        Re-filling an extended grid therefore only *appends* the new
+        cells — finished work is never re-queued or overwritten.
+        """
+        keys = [cell_key(params) for params in cells]
+        if len(set(keys)) != len(keys):
+            raise GridError(
+                f"grid {name!r} expansion contains duplicate cells; every "
+                f"cell's params must be unique within a grid"
+            )
+        self.ensure_grid(name, runner, spec_json)
+        inserted = 0
+        with _wrapped(f"fill {name!r}"):
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                for ordinal, (params, key) in enumerate(zip(cells, keys)):
+                    cursor = self._conn.execute(
+                        "INSERT OR IGNORE INTO cells "
+                        "(grid, ordinal, cell_key, params, runner) "
+                        "VALUES (?, ?, ?, ?, ?)",
+                        (name, ordinal, key, json.dumps(params), runner),
+                    )
+                    inserted += cursor.rowcount
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return FillReport(grid=name, inserted=inserted, existing=len(cells) - inserted)
+
+    # -- claiming ------------------------------------------------------
+    def claim_next(self, grid: str | None = None, *, worker_id: str,
+                   stale_after_s: float = 300.0) -> Claim | None:
+        """Atomically claim the next runnable cell, or None if drained.
+
+        Runnable means ``pending``, or ``claimed`` with a heartbeat older
+        than ``stale_after_s`` (the owner is presumed dead).  The CAS
+        guard re-checks the exact observed ``(status, heartbeat)`` pair,
+        so concurrent claimants can race but never both win.
+        """
+        grid_clause = "grid = ?" if grid is not None else "1=1"
+        while True:
+            now = time.time()
+            with _wrapped("claim_next select"):
+                row = self._conn.execute(
+                    f"SELECT id, grid, ordinal, runner, params, status, "
+                    f"heartbeat, attempts FROM cells WHERE {grid_clause} "
+                    f"AND (status = 'pending' OR "
+                    f"     (status = 'claimed' AND heartbeat < ?)) "
+                    f"ORDER BY grid, ordinal LIMIT 1",
+                    ((grid, now - stale_after_s) if grid is not None
+                     else (now - stale_after_s,)),
+                ).fetchone()
+            if row is None:
+                return None
+            (cid, cgrid, ordinal, runner, params_json,
+             seen_status, seen_heartbeat, attempts) = row
+            token = uuid.uuid4().hex
+            started = utc_now()
+            with _wrapped("claim_next cas"):
+                cursor = self._conn.execute(
+                    "UPDATE cells SET status = 'claimed', claimed_by = ?, "
+                    "claim_token = ?, heartbeat = ?, started_utc = ?, "
+                    "attempts = attempts + 1 "
+                    "WHERE id = ? AND status = ? AND heartbeat IS ?",
+                    (worker_id, token, time.time(), started,
+                     cid, seen_status, seen_heartbeat),
+                )
+            if cursor.rowcount == 1:
+                return Claim(
+                    cell_id=cid, grid=cgrid, ordinal=ordinal, runner=runner,
+                    params=json.loads(params_json), token=token,
+                    attempts=attempts + 1, started_utc=started,
+                )
+            # Lost the race for this cell; another worker owns it now.
+
+    def heartbeat(self, claim: Claim) -> bool:
+        """Refresh the claim's liveness; False means the claim was stolen."""
+        with _wrapped("heartbeat"):
+            cursor = self._conn.execute(
+                "UPDATE cells SET heartbeat = ? WHERE id = ? "
+                "AND status = 'claimed' AND claim_token = ?",
+                (time.time(), claim.cell_id, claim.token),
+            )
+        return cursor.rowcount == 1
+
+    # -- finishing -----------------------------------------------------
+    def _finish(self, claim: Claim, assignments: str, values: tuple) -> None:
+        with _wrapped("finish"):
+            cursor = self._conn.execute(
+                f"UPDATE cells SET {assignments}, finished_utc = ?, "
+                f"claimed_by = NULL, claim_token = NULL, heartbeat = NULL "
+                f"WHERE id = ? AND status = 'claimed' AND claim_token = ?",
+                values + (utc_now(), claim.cell_id, claim.token),
+            )
+        if cursor.rowcount != 1:
+            raise GridStateError(
+                f"claim on cell {claim.cell_id} (grid {claim.grid!r}) was "
+                f"expired and re-claimed while this worker ran it; "
+                f"discarding this result — the new owner's run is "
+                f"authoritative"
+            )
+
+    def finish_done(self, claim: Claim, result: dict, provenance: dict) -> None:
+        """Record a successful cell; raises GridStateError on a stolen claim."""
+        try:
+            result_json = json.dumps(result)
+        except (TypeError, ValueError) as exc:
+            raise GridError(
+                f"runner {claim.runner!r} returned a non-JSON-encodable "
+                f"result for cell {claim.cell_id}: {exc}"
+            ) from exc
+        self._finish(
+            claim,
+            "status = 'done', result = ?, error_type = NULL, "
+            "error_message = NULL, error_traceback = NULL, "
+            + ", ".join(f"{col} = ?" for col in _PROVENANCE_COLUMNS),
+            (result_json,) + tuple(provenance.get(col) for col in _PROVENANCE_COLUMNS),
+        )
+
+    def finish_error(self, claim: Claim, *, error_type: str, error_message: str,
+                     error_traceback: str, provenance: dict) -> None:
+        """Record a failed cell (typed error name + traceback kept)."""
+        self._finish(
+            claim,
+            "status = 'error', error_type = ?, error_message = ?, "
+            "error_traceback = ?, "
+            + ", ".join(f"{col} = ?" for col in _PROVENANCE_COLUMNS),
+            (error_type, error_message, error_traceback)
+            + tuple(provenance.get(col) for col in _PROVENANCE_COLUMNS),
+        )
+
+    # -- external results (pytest-driven benchmark runs) ---------------
+    def log_external(self, grid: str, runner: str, params: dict, result: dict,
+                     *, provenance: dict, started_utc: str | None = None,
+                     finished_utc: str | None = None) -> None:
+        """Insert-or-update a finished cell produced outside a worker.
+
+        The benchmarks ``record`` fixture uses this (when ``RITA_GRID_DB``
+        is set) so pytest-driven runs and grid-driven runs share one
+        provenance story; re-running a benchmark updates its cell.
+        """
+        self.ensure_grid(grid, runner)
+        key = cell_key(params)
+        now = utc_now()
+        with _wrapped(f"log_external {grid!r}"):
+            next_ordinal = self._conn.execute(
+                "SELECT COALESCE(MAX(ordinal) + 1, 0) FROM cells WHERE grid = ?",
+                (grid,),
+            ).fetchone()[0]
+            self._conn.execute(
+                "INSERT INTO cells (grid, ordinal, cell_key, params, runner, "
+                "status, attempts, started_utc, finished_utc, result, "
+                + ", ".join(_PROVENANCE_COLUMNS) + ") "
+                "VALUES (?, ?, ?, ?, ?, 'done', 1, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?) "
+                "ON CONFLICT (grid, cell_key) DO UPDATE SET "
+                "status = 'done', attempts = attempts + 1, "
+                "started_utc = excluded.started_utc, "
+                "finished_utc = excluded.finished_utc, "
+                "result = excluded.result, error_type = NULL, "
+                "error_message = NULL, error_traceback = NULL, "
+                + ", ".join(f"{col} = excluded.{col}" for col in _PROVENANCE_COLUMNS),
+                (grid, next_ordinal, key, json.dumps(params), runner,
+                 started_utc or now, finished_utc or now, json.dumps(result))
+                + tuple(provenance.get(col) for col in _PROVENANCE_COLUMNS),
+            )
+
+    # -- queries -------------------------------------------------------
+    def grid_names(self) -> list[str]:
+        with _wrapped("grid_names"):
+            rows = self._conn.execute("SELECT name FROM grids ORDER BY name").fetchall()
+        return [row[0] for row in rows]
+
+    def grid_runner(self, grid: str) -> str:
+        with _wrapped("grid_runner"):
+            row = self._conn.execute(
+                "SELECT runner FROM grids WHERE name = ?", (grid,)
+            ).fetchone()
+        if row is None:
+            raise GridError(f"no grid named {grid!r} in {self.path!r}")
+        return row[0]
+
+    def counts(self, grid: str | None = None) -> dict[str, dict[str, int]]:
+        """Per-grid cell counts by status (all four statuses present)."""
+        grid_clause = "WHERE grid = ?" if grid is not None else ""
+        with _wrapped("counts"):
+            rows = self._conn.execute(
+                f"SELECT grid, status, COUNT(*) FROM cells {grid_clause} "
+                f"GROUP BY grid, status ORDER BY grid",
+                (grid,) if grid is not None else (),
+            ).fetchall()
+        out: dict[str, dict[str, int]] = {}
+        for name, status, count in rows:
+            out.setdefault(name, dict.fromkeys(STATUSES, 0))[status] = count
+        if grid is not None and grid not in out and grid in self.grid_names():
+            out[grid] = dict.fromkeys(STATUSES, 0)
+        return out
+
+    def cells(self, grid: str, status: str | None = None) -> list[CellRow]:
+        """All cells of one grid in fill order (optionally one status)."""
+        status_clause = "AND status = ?" if status is not None else ""
+        with _wrapped(f"cells {grid!r}"):
+            rows = self._conn.execute(
+                f"SELECT {_CELL_COLUMNS} FROM cells WHERE grid = ? "
+                f"{status_clause} ORDER BY ordinal",
+                (grid, status) if status is not None else (grid,),
+            ).fetchall()
+        return [_row_to_cell(row) for row in rows]
+
+    def reset_errors(self, grid: str | None = None) -> int:
+        """Re-queue every errored cell; returns how many were reset."""
+        grid_clause = "AND grid = ?" if grid is not None else ""
+        with _wrapped("reset_errors"):
+            cursor = self._conn.execute(
+                f"UPDATE cells SET status = 'pending', result = NULL, "
+                f"error_type = NULL, error_message = NULL, "
+                f"error_traceback = NULL, claimed_by = NULL, "
+                f"claim_token = NULL, heartbeat = NULL, started_utc = NULL, "
+                f"finished_utc = NULL WHERE status = 'error' {grid_clause}",
+                (grid,) if grid is not None else (),
+            )
+        return cursor.rowcount
+
+    # -- portable dump / load ------------------------------------------
+    def dump(self, grid: str | None = None) -> dict[str, Any]:
+        """JSON-able snapshot of grids + cells (committed as fixtures)."""
+        grids = [grid] if grid is not None else self.grid_names()
+        if grid is not None and grid not in self.grid_names():
+            raise GridError(f"no grid named {grid!r} in {self.path!r}")
+        payload: dict[str, Any] = {"schema_version": SCHEMA_VERSION, "grids": []}
+        for name in grids:
+            with _wrapped(f"dump {name!r}"):
+                runner, spec, created = self._conn.execute(
+                    "SELECT runner, spec, created_utc FROM grids WHERE name = ?",
+                    (name,),
+                ).fetchone()
+                cell_rows = self._conn.execute(
+                    f"SELECT {_CELL_COLUMNS} FROM cells WHERE grid = ? "
+                    f"ORDER BY ordinal",
+                    (name,),
+                ).fetchall()
+            cells = []
+            for row in cell_rows:
+                cell = _row_to_cell(row)
+                cells.append({
+                    "ordinal": cell.ordinal,
+                    "params": cell.params,
+                    "runner": cell.runner,
+                    "status": cell.status,
+                    "attempts": cell.attempts,
+                    "started_utc": cell.started_utc,
+                    "finished_utc": cell.finished_utc,
+                    "result": cell.result,
+                    "error_type": cell.error_type,
+                    "error_message": cell.error_message,
+                    "error_traceback": cell.error_traceback,
+                    "provenance": cell.provenance,
+                })
+            payload["grids"].append({
+                "name": name, "runner": runner, "spec": spec,
+                "created_utc": created, "cells": cells,
+            })
+        return payload
+
+    def load(self, payload: dict) -> dict[str, int]:
+        """Recreate grids from a :meth:`dump` payload (replace on conflict)."""
+        version = payload.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise GridSchemaError(
+                f"dump payload has schema_version {version!r}; this code "
+                f"loads v{SCHEMA_VERSION}"
+            )
+        loaded: dict[str, int] = {}
+        for grid in payload.get("grids", []):
+            name, runner = grid["name"], grid["runner"]
+            self.ensure_grid(name, runner, grid.get("spec"))
+            with _wrapped(f"load {name!r}"):
+                self._conn.execute("BEGIN IMMEDIATE")
+                try:
+                    for cell in grid["cells"]:
+                        provenance = cell.get("provenance", {})
+                        self._conn.execute(
+                            "INSERT OR REPLACE INTO cells "
+                            "(grid, ordinal, cell_key, params, runner, status, "
+                            "attempts, started_utc, finished_utc, result, "
+                            "error_type, error_message, error_traceback, "
+                            + ", ".join(_PROVENANCE_COLUMNS) + ") VALUES "
+                            "(?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, "
+                            "?, ?, ?, ?, ?, ?, ?)",
+                            (name, cell["ordinal"], cell_key(cell["params"]),
+                             json.dumps(cell["params"]), cell["runner"],
+                             cell["status"], cell.get("attempts", 0),
+                             cell.get("started_utc"), cell.get("finished_utc"),
+                             json.dumps(cell["result"])
+                             if cell.get("result") is not None else None,
+                             cell.get("error_type"), cell.get("error_message"),
+                             cell.get("error_traceback"))
+                            + tuple(provenance.get(col) for col in _PROVENANCE_COLUMNS),
+                        )
+                    self._conn.execute("COMMIT")
+                except BaseException:
+                    self._conn.execute("ROLLBACK")
+                    raise
+            loaded[name] = len(grid["cells"])
+        return loaded

@@ -1,0 +1,142 @@
+"""The drain loop: claim a cell, run it, record the outcome, repeat.
+
+A worker is deliberately boring — all the concurrency guarantees live in
+:mod:`repro.experiments.grid.store`.  What the worker adds:
+
+* a background heartbeat thread (own :class:`GridStore` connection; the
+  store is single-thread) that keeps the claim fresh while a slow cell
+  trains, so honest long cells are not "stale";
+* per-cell seeding: ``repro.seed_all(params["seed"])`` before the runner
+  fires, so a cell's result is identical whether it runs first in a
+  fresh process or tenth in a long-lived worker;
+* typed failure capture: a runner exception marks the *cell* as
+  ``error`` (class name, message, traceback, provenance) and the loop
+  moves on — one bad cell never takes down the drain.
+
+A SIGKILLed worker simply stops heartbeating; after ``stale_after_s``
+its cell is re-claimable and another worker finishes it.  If the
+original worker somehow resurfaces, its ``finish_*`` fails the claim-
+token check and the result is discarded (counted in ``lost``).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import traceback
+import uuid
+from dataclasses import dataclass, field
+
+from repro.errors import GridStateError
+from repro.experiments.grid import provenance
+from repro.experiments.grid.runners import get_runner, load_runner_modules
+from repro.experiments.grid.store import Claim, GridStore
+
+__all__ = ["WorkerConfig", "WorkerReport", "run_worker"]
+
+
+def _default_worker_id() -> str:
+    return f"{os.uname().nodename}:{os.getpid()}:{uuid.uuid4().hex[:6]}"
+
+
+@dataclass(frozen=True)
+class WorkerConfig:
+    """Everything one drain loop needs."""
+
+    db_path: str
+    grid: str | None = None
+    worker_id: str = field(default_factory=_default_worker_id)
+    stale_after_s: float = 300.0
+    heartbeat_interval_s: float = 15.0
+    max_cells: int | None = None
+    runner_modules: tuple[str, ...] = ()
+
+
+@dataclass
+class WorkerReport:
+    """What one worker invocation accomplished."""
+
+    worker_id: str
+    done: int = 0
+    errors: int = 0
+    lost: int = 0
+
+    @property
+    def executed(self) -> int:
+        return self.done + self.errors + self.lost
+
+
+class _Heartbeater:
+    """Daemon thread refreshing one claim on its own store connection."""
+
+    def __init__(self, db_path: str, claim: Claim, interval_s: float) -> None:
+        self._db_path = db_path
+        self._claim = claim
+        self._interval_s = interval_s
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._pulse, name=f"grid-heartbeat-{claim.cell_id}", daemon=True
+        )
+
+    def __enter__(self) -> "_Heartbeater":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self._interval_s + 5.0)
+
+    def _pulse(self) -> None:
+        with GridStore(self._db_path) as store:
+            while not self._stop.wait(self._interval_s):
+                if not store.heartbeat(self._claim):
+                    return  # claim stolen; finish_* will surface it
+
+def _run_cell(store: GridStore, config: WorkerConfig, claim: Claim,
+              report: WorkerReport) -> None:
+    seed = claim.params.get("seed")
+    if isinstance(seed, int):
+        import repro
+
+        repro.seed_all(seed)
+    try:
+        with _Heartbeater(store.path, claim, config.heartbeat_interval_s):
+            result = get_runner(claim.runner)(claim.params)
+        store.finish_done(
+            claim, result,
+            provenance.capture(rita_seed=seed if isinstance(seed, int) else None),
+        )
+        report.done += 1
+    except GridStateError:
+        report.lost += 1  # stolen claim: the re-claimant's result stands
+    except Exception as exc:  # noqa: BLE001 — every runner fault becomes row state
+        try:
+            store.finish_error(
+                claim,
+                error_type=type(exc).__name__,
+                error_message=str(exc),
+                error_traceback=traceback.format_exc(),
+                provenance=provenance.capture(
+                    rita_seed=seed if isinstance(seed, int) else None
+                ),
+            )
+            report.errors += 1
+        except GridStateError:
+            report.lost += 1
+
+
+def run_worker(config: WorkerConfig) -> WorkerReport:
+    """Drain cells until the grid is empty (or ``max_cells`` is hit)."""
+    load_runner_modules(config.runner_modules)
+    report = WorkerReport(worker_id=config.worker_id)
+    with GridStore(config.db_path) as store:
+        while config.max_cells is None or report.executed < config.max_cells:
+            claim = store.claim_next(
+                config.grid,
+                worker_id=config.worker_id,
+                stale_after_s=config.stale_after_s,
+            )
+            if claim is None:
+                break
+            _run_cell(store, config, claim, report)
+    return report

@@ -40,8 +40,10 @@ __all__ = [
     "run_imputation",
     "run_pretrain_finetune",
     "run_scheduler_ablation",
+    "run_scheduler_cell",
     "run_pretrain_size_ablation",
     "run_varying_length",
+    "run_varying_length_cell",
     "run_grail_comparison",
     "run_inference_time",
 ]
@@ -222,6 +224,70 @@ def run_pretrain_finetune(
 # ----------------------------------------------------------------------
 # Table 4: adaptive scheduler vs fixed N
 # ----------------------------------------------------------------------
+def run_scheduler_cell(
+    dataset: str,
+    task_kind: str,
+    scale: ExperimentScale = BENCH,
+    *,
+    n_groups: int,
+    epsilon: float | None = None,
+    seed: int = 0,
+) -> dict:
+    """One Table-4 arm: dynamic (``epsilon`` set) or fixed-N scheduling.
+
+    Self-contained so experiment-grid workers can run each arm as an
+    independent cell: every RNG is derived freshly from ``seed``, so the
+    row is identical whether arms run in one process (the classic
+    benchmark path through :func:`run_scheduler_ablation`) or spread
+    across workers.  Dynamic arms cap ``n_groups`` at the (scaled)
+    series length, matching the ablation's historical start-N choice.
+    """
+    rng = np.random.default_rng(seed)
+    bundle = load_dataset(
+        dataset, size_scale=scale.size_scale, length_scale=scale.length_scale, rng=rng
+    )
+    scaler = Scaler.fit(bundle.train.arrays["x"])
+    if epsilon is not None:
+        n_groups = min(bundle.length, n_groups)
+    model = build_model(
+        "group", bundle, scale, rng=np.random.default_rng(seed + 1),
+        with_classifier=task_kind == "classification", n_groups=n_groups,
+    )
+    if task_kind == "classification":
+        task = ClassificationTask()
+    else:
+        task = ImputationTask(scaler, mask_rate=0.2, rng=np.random.default_rng(seed + 3))
+    optimizer = AdamW(model.parameters(), lr=scale.lr, weight_decay=1e-4)
+    scheduler = None
+    if epsilon is not None:
+        # "mean" pooling of per-(batch x head) merge counts: the
+        # conservative default ("min") needs every sample to agree,
+        # which rarely happens before embeddings converge.
+        scheduler = AdaptiveScheduler.for_model(
+            model,
+            AdaptiveSchedulerConfig(epsilon=epsilon, aggregate="mean", momentum=0.8),
+        )
+    trainer = Trainer(model, task, optimizer, adaptive_scheduler=scheduler)
+    history = trainer.fit(
+        bundle.train, epochs=scale.epochs, batch_size=scale.batch_size,
+        val_dataset=bundle.valid, rng=np.random.default_rng(seed + 2),
+    )
+    metric = (
+        history.best("accuracy")
+        if task_kind == "classification"
+        else history.final.val_metrics["mse"]
+    )
+    return {
+        "dataset": dataset,
+        "task": task_kind,
+        "scheduler": "Dynamic" if epsilon is not None else "Fixed",
+        "parameter": epsilon if epsilon is not None else n_groups,
+        "metric": metric,
+        "epoch_seconds": history.avg_epoch_seconds(),
+        "final_groups": model.mean_groups(),
+    }
+
+
 def run_scheduler_ablation(
     dataset: str,
     task_kind: str,
@@ -231,57 +297,16 @@ def run_scheduler_ablation(
     seed: int = 0,
 ) -> list[dict]:
     """Adaptive scheduling (eps grid) vs fixed group counts (N grid)."""
-    rng = np.random.default_rng(seed)
-    bundle = load_dataset(
-        dataset, size_scale=scale.size_scale, length_scale=scale.length_scale, rng=rng
-    )
-    scaler = Scaler.fit(bundle.train.arrays["x"])
-
-    def make_task():
-        if task_kind == "classification":
-            return ClassificationTask()
-        return ImputationTask(scaler, mask_rate=0.2, rng=np.random.default_rng(seed + 3))
-
-    def run_once(n_groups: int, epsilon: float | None) -> dict:
-        model = build_model(
-            "group", bundle, scale, rng=np.random.default_rng(seed + 1),
-            with_classifier=task_kind == "classification", n_groups=n_groups,
-        )
-        task = make_task()
-        optimizer = AdamW(model.parameters(), lr=scale.lr, weight_decay=1e-4)
-        scheduler = None
-        if epsilon is not None:
-            # "mean" pooling of per-(batch x head) merge counts: the
-            # conservative default ("min") needs every sample to agree,
-            # which rarely happens before embeddings converge.
-            scheduler = AdaptiveScheduler.for_model(
-                model,
-                AdaptiveSchedulerConfig(epsilon=epsilon, aggregate="mean", momentum=0.8),
-            )
-        trainer = Trainer(model, task, optimizer, adaptive_scheduler=scheduler)
-        history = trainer.fit(
-            bundle.train, epochs=scale.epochs, batch_size=scale.batch_size,
-            val_dataset=bundle.valid, rng=np.random.default_rng(seed + 2),
-        )
-        metric = (
-            history.best("accuracy")
-            if task_kind == "classification"
-            else history.final.val_metrics["mse"]
-        )
-        return {
-            "scheduler": "Dynamic" if epsilon is not None else "Fixed",
-            "parameter": epsilon if epsilon is not None else n_groups,
-            "metric": metric,
-            "epoch_seconds": history.avg_epoch_seconds(),
-            "final_groups": model.mean_groups(),
-        }
-
     rows = []
-    start_n = min(bundle.length, max(fixed_ns))
+    start_n = max(fixed_ns)
     for epsilon in epsilons:
-        rows.append({"dataset": dataset, "task": task_kind, **run_once(start_n, epsilon)})
+        rows.append(run_scheduler_cell(
+            dataset, task_kind, scale, n_groups=start_n, epsilon=epsilon, seed=seed,
+        ))
     for fixed_n in fixed_ns:
-        rows.append({"dataset": dataset, "task": task_kind, **run_once(fixed_n, None)})
+        rows.append(run_scheduler_cell(
+            dataset, task_kind, scale, n_groups=fixed_n, seed=seed,
+        ))
     return rows
 
 
@@ -335,6 +360,50 @@ def run_pretrain_size_ablation(
 # ----------------------------------------------------------------------
 # Figure 4: varying lengths on MGH (time + MSE per method)
 # ----------------------------------------------------------------------
+def run_varying_length_cell(
+    paper_length: int,
+    method: str,
+    scale: ExperimentScale = BENCH,
+    seed: int = 0,
+) -> dict:
+    """One Figure-4 cell: a single (paper length, method) combination.
+
+    Self-contained for the experiment grid (every RNG derives freshly
+    from ``seed``), so the row matches the serial
+    :func:`run_varying_length` sweep exactly.  The OOM decision happens
+    at paper geometry before any compute, like the full sweep.
+    """
+    kind = "vanilla" if method == "tst" else method
+    kwargs = {"n_groups": 64} if method == "group" else {}
+    needed = _PAPER_MEMORY.step_bytes(kind, 1, paper_length, **kwargs)
+    if needed > DEFAULT_CAPACITY:
+        return {"paper_length": paper_length, "method": method_display_name(method),
+                "mse": None, "epoch_seconds": None, "note": "N/A (OOM)"}
+    rng = np.random.default_rng(seed)
+    sim_length = max(int(paper_length * scale.length_scale * 0.1), 32)
+    bundle = load_dataset(
+        "mgh", size_scale=scale.size_scale / 2, rng=rng,
+        length_scale=sim_length / DATASETS["mgh"].length,
+    )
+    scaler = Scaler.fit(bundle.train.arrays["x"])
+    model = build_model(
+        method, bundle, scale, rng=np.random.default_rng(seed + 1), with_classifier=False
+    )
+    task = ImputationTask(scaler, mask_rate=0.2, rng=np.random.default_rng(seed + 3))
+    trainer = _make_trainer(model, task, scale, adaptive=True)
+    history = trainer.fit(
+        bundle.train, epochs=max(scale.epochs // 2, 1), batch_size=scale.batch_size,
+        val_dataset=bundle.valid, rng=np.random.default_rng(seed + 2),
+    )
+    return {
+        "paper_length": paper_length,
+        "method": method_display_name(method),
+        "mse": history.final.val_metrics["mse"],
+        "epoch_seconds": history.avg_epoch_seconds(),
+        "note": "",
+    }
+
+
 def run_varying_length(
     lengths_paper: tuple[int, ...] = (2000, 4000, 6000, 8000, 10000),
     scale: ExperimentScale = BENCH,
@@ -348,40 +417,11 @@ def run_varying_length(
     cannot handle lengths >= 8000 on a V100 — Sec. 6.3.2).
     """
     methods = methods or ["vanilla", "performer", "linformer", "group"]
-    rows = []
-    for paper_length in lengths_paper:
-        rng = np.random.default_rng(seed)
-        sim_length = max(int(paper_length * scale.length_scale * 0.1), 32)
-        bundle = load_dataset(
-            "mgh", size_scale=scale.size_scale / 2, rng=rng,
-            length_scale=sim_length / DATASETS["mgh"].length,
-        )
-        scaler = Scaler.fit(bundle.train.arrays["x"])
-        for method in methods:
-            kind = "vanilla" if method == "tst" else method
-            kwargs = {"n_groups": 64} if method == "group" else {}
-            needed = _PAPER_MEMORY.step_bytes(kind, 1, paper_length, **kwargs)
-            if needed > DEFAULT_CAPACITY:
-                rows.append({"paper_length": paper_length, "method": method_display_name(method),
-                             "mse": None, "epoch_seconds": None, "note": "N/A (OOM)"})
-                continue
-            model = build_model(
-                method, bundle, scale, rng=np.random.default_rng(seed + 1), with_classifier=False
-            )
-            task = ImputationTask(scaler, mask_rate=0.2, rng=np.random.default_rng(seed + 3))
-            trainer = _make_trainer(model, task, scale, adaptive=True)
-            history = trainer.fit(
-                bundle.train, epochs=max(scale.epochs // 2, 1), batch_size=scale.batch_size,
-                val_dataset=bundle.valid, rng=np.random.default_rng(seed + 2),
-            )
-            rows.append({
-                "paper_length": paper_length,
-                "method": method_display_name(method),
-                "mse": history.final.val_metrics["mse"],
-                "epoch_seconds": history.avg_epoch_seconds(),
-                "note": "",
-            })
-    return rows
+    return [
+        run_varying_length_cell(paper_length, method, scale, seed)
+        for paper_length in lengths_paper
+        for method in methods
+    ]
 
 
 # ----------------------------------------------------------------------

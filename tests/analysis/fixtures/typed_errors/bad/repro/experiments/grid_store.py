@@ -1,0 +1,18 @@
+"""Seeded driver-exception violations: sqlite3 errors crossing the API."""
+
+import sqlite3
+
+
+def claim(conn, cell_id):
+    try:
+        return conn.execute(
+            "UPDATE cells SET status = 'claimed' WHERE id = ?", (cell_id,)
+        )
+    except sqlite3.Error:
+        raise sqlite3.OperationalError("claim failed")  # EXPECT[typed-errors]
+
+
+def open_db(path):
+    if path is None:
+        raise sqlite3.ProgrammingError("no path")  # EXPECT[typed-errors]
+    return sqlite3.connect(path)

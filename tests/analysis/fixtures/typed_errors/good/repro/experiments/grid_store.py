@@ -1,0 +1,14 @@
+"""Driver faults wrapped into the typed error at the boundary."""
+
+import sqlite3
+
+from repro.errors import GridError
+
+
+def claim(conn, cell_id):
+    try:
+        return conn.execute(
+            "UPDATE cells SET status = 'claimed' WHERE id = ?", (cell_id,)
+        )
+    except sqlite3.Error as exc:
+        raise GridError(f"sqlite failure during claim: {exc}") from exc

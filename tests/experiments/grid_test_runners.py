@@ -1,0 +1,43 @@
+"""Runners for the crash-resume test's subprocess workers.
+
+Imported by worker subprocesses via ``--runners grid_test_runners``
+(with this directory on ``PYTHONPATH``).  The runner journals every
+execution attempt and completion into flag files under
+``RITA_GRID_TEST_DIR`` so the test can prove, from outside the
+database, that a SIGKILL-interrupted cell was re-run exactly once and
+no cell ever completed twice.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from repro.experiments.grid import register_runner
+
+
+def _journal_dir() -> Path:
+    return Path(os.environ["RITA_GRID_TEST_DIR"])
+
+
+@register_runner("flagged_sleep")
+def flagged_sleep(params: dict) -> dict:
+    """Journal the attempt; hang forever on the first run of the hang cell.
+
+    The first execution of cell ``x == hang_x`` touches its started-flag
+    and then sleeps until the test SIGKILLs the worker.  Any later
+    attempt sees the flag, skips the sleep, and completes normally — so
+    a completion line only ever exists for attempts that finished.
+    """
+    journal = _journal_dir()
+    x = params["x"]
+    started = journal / f"started_{x}"
+    first_attempt = not started.exists()
+    with started.open("a") as fh:
+        fh.write(f"{os.getpid()}\n")
+    if first_attempt and x == params.get("hang_x"):
+        time.sleep(600.0)  # killed from outside; never returns
+    with (journal / "completions.log").open("a") as fh:
+        fh.write(f"{x}\n")
+    return {"row": {"x": x, "pid": os.getpid()}}

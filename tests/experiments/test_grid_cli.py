@@ -1,0 +1,101 @@
+"""``python -m repro.experiments.grid`` — exit codes and workflows.
+
+Exit-code contract (shared with ``repro.analysis``): 0 = success /
+nothing wrong, 1 = completed with findings (errored cells), 2 = usage
+or configuration error.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.grid import GridStore
+from repro.experiments.grid.__main__ import main
+
+
+@pytest.fixture
+def db(tmp_path):
+    return str(tmp_path / "grid.db")
+
+
+def test_init_fill_run_status_render_happy_path(db, tmp_path, capsys):
+    assert main(["init", db]) == 0
+    assert main(["fill", db, "smoke"]) == 0
+    assert main(["run", db, "--grid", "smoke"]) == 0
+    assert main(["status", db]) == 0
+    out = capsys.readouterr().out
+    assert "smoke: 2/2 done" in out
+    results = tmp_path / "results"
+    assert main(["render", db, "smoke", "--results-dir", str(results)]) == 0
+    assert (results / "grid_smoke.txt").exists()
+
+
+def test_fill_is_idempotent(db, capsys):
+    main(["init", db])
+    main(["fill", db, "smoke"])
+    assert main(["fill", db, "smoke"]) == 0
+    assert "0 new cells, 2 already present" in capsys.readouterr().out
+
+
+def test_unknown_spec_is_usage_error(db, capsys):
+    main(["init", db])
+    assert main(["fill", db, "no_such_grid"]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_missing_db_is_usage_error(tmp_path, capsys):
+    assert main(["status", str(tmp_path / "absent.db")]) == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_render_unfinished_grid_is_usage_error(db, tmp_path, capsys):
+    main(["init", db])
+    main(["fill", db, "smoke"])
+    assert main(["render", db, "smoke", "--results-dir", str(tmp_path)]) == 2
+    assert "not fully done" in capsys.readouterr().err
+
+
+def test_errored_cells_surface_as_exit_1(db, capsys, tmp_path):
+    main(["init", db])
+    main(["fill", db, "smoke"])
+    with GridStore(db) as store:
+        claim = store.claim_next("smoke", worker_id="w")
+        store.finish_error(claim, error_type="ConfigError", error_message="boom",
+                           error_traceback="tb", provenance={})
+    assert main(["status", db]) == 1
+    assert main(["status", db, "--errors"]) == 1
+    out = capsys.readouterr().out
+    assert "ConfigError" in out and "boom" in out
+    # reset-errors requeues, then a worker finishes the grid clean.
+    assert main(["reset-errors", db]) == 0
+    assert main(["run", db, "--grid", "smoke"]) == 0
+    assert main(["status", db]) == 0
+
+
+def test_spec_file_fill_and_dump_load_roundtrip(db, tmp_path, capsys):
+    spec = {
+        "name": "custom", "runner": "smoke_metric",
+        "axes": {"n": [8, 16]}, "base": {"seed": 1},
+    }
+    spec_path = tmp_path / "custom.json"
+    spec_path.write_text(json.dumps(spec))
+    main(["init", db])
+    assert main(["fill", db, "--spec-file", str(spec_path)]) == 0
+    assert main(["run", db, "--grid", "custom"]) == 0
+    dump_path = tmp_path / "dump.json"
+    assert main(["dump", db, "--grid", "custom", "-o", str(dump_path)]) == 0
+    db2 = str(tmp_path / "other.db")
+    assert main(["init", db2]) == 0
+    assert main(["load", db2, str(dump_path)]) == 0
+    capsys.readouterr()
+    assert main(["status", db2]) == 0
+    assert "custom" in capsys.readouterr().out
+
+
+def test_specs_lists_builtins(capsys):
+    assert main(["specs"]) == 0
+    out = capsys.readouterr().out
+    for name in ("smoke", "fig4_varying_length", "table4_scheduler_ecg"):
+        assert name in out

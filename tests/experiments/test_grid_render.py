@@ -1,0 +1,129 @@
+"""DB-rendered artifacts: byte-identity against committed fixtures.
+
+The dumps under ``fixtures/`` were produced by real worker runs of the
+built-in grids; the files under ``fixtures/rendered/`` are what
+``python -m repro.experiments.grid render`` wrote from those databases.
+Loading the dumps into a fresh store and rendering again must reproduce
+those files byte-for-byte — the acceptance criterion that results are a
+pure function of the database.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import GridError, GridStateError
+from repro.experiments.grid import GridStore, render_grid, renderable_grids
+from repro.experiments.grid.render import PYTEST_RECORD_GRID, PYTEST_RECORD_RUNNER
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def load_dump(store: GridStore, name: str) -> None:
+    store.load(json.loads((FIXTURES / name).read_text()))
+
+
+@pytest.fixture
+def store(tmp_path):
+    with GridStore(str(tmp_path / "grid.db"), create=True) as s:
+        yield s
+
+
+class TestByteIdentity:
+    """Two result families regenerating byte-identically through render."""
+
+    @pytest.mark.parametrize(
+        ("dump", "grid", "artifacts"),
+        [
+            ("smoke_dump.json", "smoke", ["grid_smoke.txt"]),
+            ("fig4_dump.json", "fig4_varying_length",
+             ["fig4_varying_length.txt", "fig4_speedup_summary.txt"]),
+            ("table4_dump.json", "table4_scheduler_ecg",
+             ["table4_scheduler_ecg.txt"]),
+        ],
+    )
+    def test_render_matches_committed_fixture(self, store, tmp_path, dump,
+                                              grid, artifacts):
+        load_dump(store, dump)
+        out = tmp_path / "results"
+        written = render_grid(store, grid, results_dir=out)
+        assert [p.name for p in written] == artifacts
+        for path in written:
+            expected = (FIXTURES / "rendered" / path.name).read_bytes()
+            assert path.read_bytes() == expected, path.name
+
+    def test_render_is_idempotent(self, store, tmp_path):
+        load_dump(store, "smoke_dump.json")
+        out = tmp_path / "results"
+        first = render_grid(store, "smoke", results_dir=out)[0].read_bytes()
+        second = render_grid(store, "smoke", results_dir=out)[0].read_bytes()
+        assert first == second
+
+
+class TestRefusals:
+    def test_empty_grid_refused(self, store):
+        store.ensure_grid("smoke", "smoke_metric")
+        with pytest.raises(GridStateError, match="no cells"):
+            render_grid(store, "smoke", results_dir="/tmp/unused")
+
+    def test_unfinished_grid_refused(self, store, tmp_path):
+        store.fill("smoke", "smoke_metric", [{"n": 32, "seed": 2024}])
+        with pytest.raises(GridStateError, match="not fully done"):
+            render_grid(store, "smoke", results_dir=tmp_path)
+
+    def test_errored_grid_refused(self, store, tmp_path):
+        load_dump(store, "smoke_dump.json")
+        claim_like = store.cells("smoke")[0]
+        # Flip one cell to error directly in SQL: render must refuse.
+        store._conn.execute(
+            "UPDATE cells SET status = 'error', error_type = 'X' WHERE id = ?",
+            (claim_like.cell_id,),
+        )
+        with pytest.raises(GridStateError, match="'error': 1"):
+            render_grid(store, "smoke", results_dir=tmp_path)
+
+    def test_mixed_environment_refused(self, store, tmp_path):
+        load_dump(store, "smoke_dump.json")
+        cell = store.cells("smoke")[0]
+        store._conn.execute(
+            "UPDATE cells SET platform = 'another-machine' WHERE id = ?",
+            (cell.cell_id,),
+        )
+        with pytest.raises(GridStateError, match="different environments"):
+            render_grid(store, "smoke", results_dir=tmp_path)
+
+    def test_unknown_family_typed(self, store, tmp_path):
+        store.fill("mystery", "custom_runner", [{"x": 1}])
+        claim = store.claim_next("mystery", worker_id="w")
+        store.finish_done(claim, {"row": {"x": 1}}, {})
+        with pytest.raises(GridError, match="no renderer"):
+            render_grid(store, "mystery", results_dir=tmp_path)
+
+
+class TestPytestRecordReplay:
+    def test_replays_recorded_text_with_per_cell_stamp(self, store, tmp_path):
+        provenance = {
+            "platform": "TestOS-1.0", "python_version": "3.11.7",
+            "numpy_version": "2.4.6", "cpu_count": 4,
+        }
+        store.log_external(
+            PYTEST_RECORD_GRID, PYTEST_RECORD_RUNNER,
+            {"artifact": "table1_datasets"}, {"text": "the table body"},
+            provenance=provenance, started_utc="2026-08-07T00:00:00Z",
+        )
+        (path,) = render_grid(store, PYTEST_RECORD_GRID, results_dir=tmp_path)
+        assert path.name == "table1_datasets.txt"
+        assert path.read_text() == (
+            "the table body\n"
+            "# run: 2026-08-07T00:00:00Z · TestOS-1.0 · Python 3.11.7 · "
+            "NumPy 2.4.6 · 4 CPUs\n"
+        )
+
+
+def test_renderable_grids_lists_table_families():
+    assert renderable_grids() == [
+        "fig4_varying_length", "smoke", "table4_scheduler_ecg",
+    ]

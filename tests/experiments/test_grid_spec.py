@@ -1,0 +1,74 @@
+"""GridSpec expansion, validation, and the built-in spec index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.grid import GridSpec, SPEC_INDEX, cell_key, spec_from_json
+
+
+class TestExpansion:
+    def test_product_order_last_axis_fastest(self):
+        spec = GridSpec("g", "r", axes={"a": (1, 2), "b": ("x", "y")})
+        assert spec.cells() == [
+            {"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"}, {"a": 2, "b": "y"},
+        ]
+
+    def test_base_merged_into_every_cell(self):
+        spec = GridSpec("g", "r", axes={"a": (1,)}, base={"seed": 7})
+        assert spec.cells() == [{"seed": 7, "a": 1}]
+
+    def test_no_axes_yields_single_cell(self):
+        spec = GridSpec("g", "r", base={"seed": 7})
+        assert spec.cells() == [{"seed": 7}]
+
+
+class TestValidation:
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError, match="non-empty name"):
+            GridSpec("", "r")
+
+    def test_axis_base_overlap_rejected(self):
+        with pytest.raises(ConfigError, match="swept or fixed"):
+            GridSpec("g", "r", axes={"seed": (1,)}, base={"seed": 2})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ConfigError, match="no values"):
+            GridSpec("g", "r", axes={"a": ()})
+
+    def test_repeated_axis_value_rejected(self):
+        with pytest.raises(ConfigError, match="repeats"):
+            GridSpec("g", "r", axes={"a": (1, 1)})
+
+
+class TestSpecFromJson:
+    def test_roundtrip_through_to_json(self):
+        spec = GridSpec("g", "r", axes={"a": (1, 2)}, base={"s": 3})
+        again = spec_from_json(spec.to_json())
+        assert again == spec
+
+    def test_invalid_json_typed(self):
+        with pytest.raises(ConfigError, match="not valid JSON"):
+            spec_from_json("{nope")
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError, match="unknown keys"):
+            spec_from_json('{"name": "g", "runner": "r", "extra": 1}')
+
+
+class TestSpecIndex:
+    def test_builtin_cells_are_unique_and_json_keyable(self):
+        for spec in SPEC_INDEX.values():
+            keys = [cell_key(params) for params in spec.cells()]
+            assert len(set(keys)) == len(keys), spec.name
+
+    def test_smoke_grid_is_two_cells(self):
+        assert SPEC_INDEX["smoke"].cells() == [
+            {"seed": 2024, "n": 32}, {"seed": 2024, "n": 64},
+        ]
+
+    def test_result_family_grids_match_bench_suite_shape(self):
+        assert len(SPEC_INDEX["fig4_varying_length"].cells()) == 20
+        assert len(SPEC_INDEX["table4_scheduler_ecg"].cells()) == 6

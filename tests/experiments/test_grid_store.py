@@ -1,0 +1,204 @@
+"""GridStore semantics: schema versioning, fill dedup, CAS claiming."""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import pytest
+
+from repro.errors import GridError, GridSchemaError, GridStateError
+from repro.experiments.grid import GridStore, cell_key
+from repro.experiments.grid.store import SCHEMA_VERSION
+
+
+@pytest.fixture
+def db(tmp_path):
+    return str(tmp_path / "grid.db")
+
+
+@pytest.fixture
+def store(db):
+    with GridStore(db, create=True) as s:
+        yield s
+
+
+def fill_numbers(store, n=3, grid="g", runner="r"):
+    return store.fill(grid, runner, [{"x": i} for i in range(n)])
+
+
+class TestSchema:
+    def test_uninitialized_file_refused_without_create(self, db):
+        with pytest.raises(GridSchemaError, match="not an initialized"):
+            GridStore(db)
+
+    def test_init_then_reopen(self, db):
+        GridStore(db, create=True).close()
+        with GridStore(db) as store:
+            assert store.grid_names() == []
+
+    def test_newer_schema_version_refused(self, db):
+        GridStore(db, create=True).close()
+        conn = sqlite3.connect(db)
+        conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+        conn.close()
+        with pytest.raises(GridSchemaError, match="upgrade the code"):
+            GridStore(db)
+
+    def test_foreign_sqlite_file_refused(self, db):
+        conn = sqlite3.connect(db)
+        conn.execute("CREATE TABLE cells (id INTEGER PRIMARY KEY)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(GridSchemaError, match="not a grid database"):
+            GridStore(db, create=True)
+
+
+class TestFill:
+    def test_fill_inserts_pending_cells(self, store):
+        report = fill_numbers(store)
+        assert (report.inserted, report.existing) == (3, 0)
+        assert store.counts("g")["g"]["pending"] == 3
+
+    def test_refill_appends_only_missing_cells(self, store):
+        fill_numbers(store, n=3)
+        claim = store.claim_next("g", worker_id="w")
+        store.finish_done(claim, {"row": {}}, {})
+        report = store.fill("g", "r", [{"x": i} for i in range(5)])
+        assert (report.inserted, report.existing) == (2, 3)
+        # The finished cell survived the re-fill untouched.
+        assert store.counts("g")["g"]["done"] == 1
+
+    def test_duplicate_cells_in_one_fill_rejected(self, store):
+        with pytest.raises(GridError, match="duplicate"):
+            store.fill("g", "r", [{"x": 1}, {"x": 1}])
+
+    def test_runner_conflict_rejected(self, store):
+        fill_numbers(store)
+        with pytest.raises(GridStateError, match="refusing to re-fill"):
+            store.fill("g", "other_runner", [{"x": 9}])
+
+    def test_cell_key_is_order_canonical(self):
+        assert cell_key({"a": 1, "b": 2}) == cell_key({"b": 2, "a": 1})
+
+    def test_unencodable_params_typed(self, store):
+        with pytest.raises(GridError, match="JSON"):
+            store.fill("g", "r", [{"x": object()}])
+
+
+class TestClaiming:
+    def test_claims_in_ordinal_order(self, store):
+        fill_numbers(store)
+        first = store.claim_next("g", worker_id="w")
+        second = store.claim_next("g", worker_id="w")
+        assert (first.params, second.params) == ({"x": 0}, {"x": 1})
+
+    def test_two_connections_never_claim_the_same_cell(self, store, db):
+        fill_numbers(store)
+        with GridStore(db) as other:
+            claims = [
+                store.claim_next("g", worker_id="a"),
+                other.claim_next("g", worker_id="b"),
+                store.claim_next("g", worker_id="a"),
+            ]
+        assert len({c.cell_id for c in claims}) == 3
+
+    def test_drained_grid_returns_none(self, store):
+        fill_numbers(store, n=1)
+        assert store.claim_next("g", worker_id="w") is not None
+        assert store.claim_next("g", worker_id="w") is None
+
+    def test_fresh_claim_is_not_stealable(self, store):
+        fill_numbers(store, n=1)
+        store.claim_next("g", worker_id="w1")
+        assert store.claim_next("g", worker_id="w2", stale_after_s=300.0) is None
+
+    def test_stale_claim_is_reclaimed_and_old_finish_rejected(self, store):
+        fill_numbers(store, n=1)
+        dead = store.claim_next("g", worker_id="dead")
+        # Claims with no heartbeat for longer than stale_after expire.
+        fresh = store.claim_next("g", worker_id="live", stale_after_s=0.0)
+        assert fresh is not None and fresh.cell_id == dead.cell_id
+        assert fresh.attempts == 2
+        store.finish_done(fresh, {"row": {"x": 0}}, {})
+        # The original owner resurfaces: its token no longer matches.
+        with pytest.raises(GridStateError, match="re-claimed"):
+            store.finish_done(dead, {"row": {"stale": True}}, {})
+        (cell,) = store.cells("g", status="done")
+        assert cell.result == {"row": {"x": 0}}
+
+    def test_heartbeat_reports_stolen_claims(self, store):
+        fill_numbers(store, n=1)
+        dead = store.claim_next("g", worker_id="dead")
+        assert store.heartbeat(dead)
+        store.claim_next("g", worker_id="live", stale_after_s=0.0)
+        assert not store.heartbeat(dead)
+
+
+class TestFinishAndQueries:
+    def test_finish_error_records_typed_failure(self, store):
+        fill_numbers(store, n=1)
+        claim = store.claim_next("g", worker_id="w")
+        store.finish_error(
+            claim, error_type="ConfigError", error_message="boom",
+            error_traceback="tb", provenance={"platform": "p"},
+        )
+        (cell,) = store.cells("g", status="error")
+        assert (cell.error_type, cell.error_message) == ("ConfigError", "boom")
+        assert cell.provenance["platform"] == "p"
+
+    def test_finish_done_rejects_unencodable_result(self, store):
+        fill_numbers(store, n=1)
+        claim = store.claim_next("g", worker_id="w")
+        with pytest.raises(GridError, match="non-JSON-encodable"):
+            store.finish_done(claim, {"row": object()}, {})
+
+    def test_reset_errors_requeues(self, store):
+        fill_numbers(store, n=2)
+        claim = store.claim_next("g", worker_id="w")
+        store.finish_error(claim, error_type="E", error_message="m",
+                           error_traceback="t", provenance={})
+        assert store.reset_errors("g") == 1
+        counts = store.counts("g")["g"]
+        assert (counts["pending"], counts["error"]) == (2, 0)
+
+    def test_counts_zero_filled_for_empty_grid(self, store):
+        store.ensure_grid("empty", "r")
+        assert store.counts("empty")["empty"] == {
+            "pending": 0, "claimed": 0, "done": 0, "error": 0,
+        }
+
+    def test_log_external_upserts(self, store):
+        provenance = {"platform": "p", "rita_seed": 7}
+        store.log_external("bench", "pytest-record", {"artifact": "a"},
+                           {"text": "v1"}, provenance=provenance)
+        store.log_external("bench", "pytest-record", {"artifact": "a"},
+                           {"text": "v2"}, provenance=provenance)
+        (cell,) = store.cells("bench")
+        assert cell.result == {"text": "v2"}
+        assert cell.attempts == 2
+        assert cell.provenance["rita_seed"] == 7
+
+
+class TestDumpLoad:
+    def test_roundtrip_preserves_cells(self, store, tmp_path):
+        fill_numbers(store, n=2)
+        claim = store.claim_next("g", worker_id="w")
+        store.finish_done(claim, {"row": {"x": 0}}, {"platform": "p", "cpu_count": 4})
+        payload = store.dump("g")
+        other_path = str(tmp_path / "other.db")
+        with GridStore(other_path, create=True) as other:
+            assert other.load(payload) == {"g": 2}
+            assert other.dump("g") == payload
+
+    def test_dump_payload_is_json(self, store):
+        fill_numbers(store, n=1)
+        json.dumps(store.dump())  # must not raise
+
+    def test_load_refuses_other_schema_versions(self, store):
+        with pytest.raises(GridSchemaError, match="schema_version"):
+            store.load({"schema_version": SCHEMA_VERSION + 1, "grids": []})
+
+    def test_dump_unknown_grid_typed(self, store):
+        with pytest.raises(GridError, match="no grid named"):
+            store.dump("missing")
