@@ -56,9 +56,11 @@ def bench_meta(*, smoke: bool = False, **extra) -> dict:
 
 def emit_payload(payload: dict, bench_name: str, out: str | None, *,
                  smoke: bool = False) -> Path:
-    """Write the payload JSON and say where it went."""
+    """Write the payload JSON (atomically) and say where it went."""
+    from repro.serialize import atomic_write_text
+
     default_name = f"BENCH_{bench_name}_smoke.json" if smoke else f"BENCH_{bench_name}.json"
     out_file = Path(out) if out else BENCH_DIR / default_name
-    out_file.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_text(out_file, json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out_file}")
     return out_file

@@ -5,6 +5,7 @@ from __future__ import annotations
 from repro.analysis.rules import (  # noqa: F401  (imports register the rules)
     conformance,
     dtype_literals,
+    durable_io,
     grad_discipline,
     layering,
     mutable_state,
@@ -14,6 +15,7 @@ from repro.analysis.rules import (  # noqa: F401  (imports register the rules)
 __all__ = [
     "conformance",
     "dtype_literals",
+    "durable_io",
     "grad_discipline",
     "layering",
     "mutable_state",

@@ -1,0 +1,117 @@
+"""``durable-io`` — persistence goes through ``repro.serialize``, nowhere else.
+
+PR 10 made the storage layer crash-consistent: every bundle and text
+artifact is published via :func:`repro.serialize.atomic_savez` /
+``atomic_write_text`` (same-directory temp file, fsync, atomic rename,
+directory fsync, embedded sha256 digest).  That guarantee holds only if
+nothing bypasses it — one stray ``np.savez(path, ...)`` or
+``open(path, "wb")`` reintroduces the torn-file window the whole stack
+was built to close, invisibly, until the first mid-save crash.
+
+This rule flags, in every ``repro.*`` module except ``repro.serialize``
+itself (where the one real write lives):
+
+* ``np.savez`` / ``np.savez_compressed`` / ``np.save`` calls whose first
+  argument is not an in-memory buffer idiom (a bare variable is assumed
+  to be a path — writing to a ``BytesIO`` is what ``serialize`` does);
+* ``open(..., "wb")`` / ``open(..., "w")`` — any write-mode string
+  literal;
+* ``Path.write_text(...)`` / ``Path.write_bytes(...)`` method calls.
+
+Reads are not flagged (``np.load`` / ``read_text`` cannot tear a file),
+but loaders should still prefer :func:`repro.serialize.read_verified`
+for bundles — the ``typed-errors`` rule catches the bare-exception leak
+that raw ``np.load`` invites.  Deliberate non-durable writes (scratch
+files inside a test harness, append-only logs where tearing is
+acceptable) carry ``# repro: allow[durable-io]`` with the justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Rule, SourceModule, register_rule
+
+__all__ = ["DurableIORule"]
+
+_SAVEZ_NAMES = {"savez", "savez_compressed", "save"}
+_WRITE_METHODS = {"write_text", "write_bytes"}
+
+#: The modules whose job is to touch the filesystem: the durable core
+#: and its fault-injecting IOProvider twin.
+EXEMPT_MODULES = {"repro.serialize", "repro.faultfs"}
+
+
+def _is_write_mode(value: ast.expr) -> bool:
+    return (
+        isinstance(value, ast.Constant)
+        and isinstance(value.value, str)
+        and any(flag in value.value for flag in ("w", "a", "x", "+"))
+    )
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self) -> None:
+        self.findings: list[tuple[ast.AST, str]] = []
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SAVEZ_NAMES
+            and isinstance(func.value, ast.Name)
+            and func.value.id in {"np", "numpy"}
+        ):
+            self.findings.append(
+                (
+                    node,
+                    f"direct np.{func.attr} persistence; route bundle writes "
+                    f"through repro.serialize.atomic_savez so a crash mid-save "
+                    f"cannot tear the file and loads verify the content digest",
+                )
+            )
+        elif isinstance(func, ast.Attribute) and func.attr in _WRITE_METHODS:
+            self.findings.append(
+                (
+                    node,
+                    f".{func.attr}() writes in place; use "
+                    f"repro.serialize.atomic_write_text/atomic_write_bytes so "
+                    f"readers never observe a torn file",
+                )
+            )
+        elif isinstance(func, ast.Name) and func.id == "open":
+            mode = None
+            if len(node.args) >= 2:
+                mode = node.args[1]
+            for keyword in node.keywords:
+                if keyword.arg == "mode":
+                    mode = keyword.value
+            if mode is not None and _is_write_mode(mode):
+                self.findings.append(
+                    (
+                        node,
+                        "raw open() in a write mode; route persistence through "
+                        "repro.serialize (atomic_write_text/atomic_write_bytes/"
+                        "atomic_savez) so a crash mid-write cannot tear the file",
+                    )
+                )
+        self.generic_visit(node)
+
+
+class DurableIORule(Rule):
+    rule_id = "durable-io"
+    description = (
+        "no direct np.savez/open(.., 'w')/write_text persistence outside "
+        "repro/serialize.py; route writes through the atomic, digest-stamped core"
+    )
+
+    def check_module(self, module: SourceModule) -> Iterator[tuple[ast.AST, str]]:
+        if not module.name.startswith("repro") or module.name in EXEMPT_MODULES:
+            return
+        visitor = _Visitor()
+        visitor.visit(module.tree)
+        yield from visitor.findings
+
+
+register_rule(DurableIORule())

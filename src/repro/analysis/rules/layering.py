@@ -23,7 +23,8 @@ The assigned ranks (lower = more fundamental):
 rank  module prefixes
 ====  ==============================================================
 0     ``errors``, ``rng``, ``serialize``, ``simgpu``, ``analysis``
-1     ``kernels.policy|threads|backend|fused|parallel`` (backends)
+1     ``kernels.policy|threads|backend|fused|parallel`` (backends),
+      ``faultfs`` (the adversarial IOProvider over ``serialize``)
 2     ``autograd.tensor`` (imports only the dtype policy)
 3     ``kernels`` (functional wrappers), ``autograd`` (ops, conv, ...)
 4     ``cluster``, ``data``, ``nn``
@@ -57,6 +58,7 @@ LAYER_RANKS = {
     "repro.serialize": 0,
     "repro.simgpu": 0,
     "repro.analysis": 0,
+    "repro.faultfs": 1,
     "repro.kernels.policy": 1,
     "repro.kernels.threads": 1,
     "repro.kernels.backend": 1,

@@ -84,11 +84,42 @@ class WorkerCrashError(ServingError):
     """
 
 
-class IntegrityError(ServingError):
-    """A worker reply failed its checksum — the payload was corrupted.
+class IntegrityError(ReproError, RuntimeError):
+    """Data failed its integrity check — the bytes are not what was written.
 
-    Corrupt replies are treated like a worker failure: the request is
-    re-dispatched (bounded) rather than handing the caller bad data.
+    Raised in two places, with the same meaning:
+
+    * **in transit** — a serving-tier worker reply failed its checksum;
+      the router treats it like a worker failure and re-dispatches the
+      request (bounded) rather than handing the caller bad data;
+    * **at rest** — a checkpoint / model-artifact / bundle on disk is
+      truncated, bit-flipped, or fails its embedded sha256 digest
+      (:mod:`repro.serialize`).  Loaders raise this instead of letting a
+      bare ``zipfile.BadZipFile`` / ``ValueError`` escape, and callers
+      with a last-good ``.bak`` fall back to it instead of accepting
+      corrupt state.
+    """
+
+
+class DivergenceError(ReproError, ArithmeticError):
+    """Training produced a non-finite (or runaway) loss.
+
+    A NaN/inf loss poisons every subsequent update, so the trainer stops
+    the epoch with this typed error instead of silently optimizing
+    garbage.  The training supervisor treats it as a rollback trigger:
+    restore the newest verified checkpoint and retry (bounded) —
+    a deterministically diverging run surfaces this error after the
+    retry budget instead of looping forever.
+    """
+
+
+class SupervisorError(ReproError, RuntimeError):
+    """The training supervisor exhausted its recovery budget.
+
+    Raised when a supervised training run keeps failing (crashes,
+    heartbeat losses, divergence) past ``max_restarts`` — the supervisor
+    never loops forever and never returns a partially trained model as
+    if it had finished.
     """
 
 

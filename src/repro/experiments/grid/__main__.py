@@ -21,6 +21,7 @@ import sys
 from pathlib import Path
 
 from repro.errors import ConfigError, ReproError
+from repro.serialize import atomic_write_text
 from repro.experiments.grid.render import render_grid, renderable_grids
 from repro.experiments.grid.spec import SPEC_INDEX, spec_from_json
 from repro.experiments.grid.store import GridStore
@@ -182,7 +183,7 @@ def _cmd_dump(args: argparse.Namespace) -> int:
         payload = store.dump(args.grid)
     text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
     if args.out:
-        Path(args.out).write_text(text)
+        atomic_write_text(Path(args.out), text)
         print(f"wrote {args.out}")
     else:
         sys.stdout.write(text)

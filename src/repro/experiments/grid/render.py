@@ -27,6 +27,7 @@ from pathlib import Path
 from typing import Callable
 
 from repro.errors import GridError, GridStateError
+from repro.serialize import atomic_write_text
 from repro.experiments.grid.provenance import run_line
 from repro.experiments.grid.store import CellRow, GridStore
 from repro.experiments.tables import format_table
@@ -196,7 +197,7 @@ def render_grid(store: GridStore, grid: str, *, results_dir: str | Path,
                 cell.started_utc or "", *(cell.provenance.get(f) for f in _ENV_FIELDS)
             )
             path = results_dir / f"{artifact}.txt"
-            path.write_text(text + "\n" + line + "\n")
+            atomic_write_text(path, text + "\n" + line + "\n")
             written.append(path)
         return written
 
@@ -215,7 +216,7 @@ def render_grid(store: GridStore, grid: str, *, results_dir: str | Path,
             name = script.removeprefix("bench_")
             suffix = "_smoke" if result.get("smoke") else ""
             path = bench_dir / f"BENCH_{name}{suffix}.json"
-            path.write_text(json.dumps(payload, indent=2) + "\n")
+            atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
             written.append(path)
         return written
 
@@ -231,6 +232,6 @@ def render_grid(store: GridStore, grid: str, *, results_dir: str | Path,
     results_dir.mkdir(parents=True, exist_ok=True)
     for artifact, table in family(cells):
         path = results_dir / f"{artifact}.txt"
-        path.write_text(table + "\n" + line + "\n")
+        atomic_write_text(path, table + "\n" + line + "\n")
         written.append(path)
     return written

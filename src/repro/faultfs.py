@@ -1,0 +1,315 @@
+"""Seeded fault-injection filesystem for the durable-I/O layer.
+
+:mod:`repro.serialize` routes every filesystem touch through a pluggable
+:class:`~repro.serialize.IOProvider`.  This module is the adversarial
+implementation: a :class:`FaultFS` wraps the real provider and injects
+the failures crash-consistent storage must survive — torn writes,
+``ENOSPC``, ``EIO`` on read, silently dropped fsyncs, and process death
+immediately before or after the publishing rename — according to a
+seeded, picklable :class:`FaultSchedule` that mirrors the serving tier's
+:class:`~repro.serve.chaos.ChaosSchedule`:
+
+* every injection decision is a pure function of
+  ``(seed, fault kind, op index)`` — an independent ``default_rng``
+  stream per decision point — so a schedule replays identically
+  regardless of process or thread timing;
+* a :class:`FaultSchedule` is plain frozen data, picklable across the
+  supervisor's process boundary, so a child trainer can be handed the
+  exact same fault plan on every respawn;
+* crashes are simulated with :class:`SimulatedCrash`, a
+  ``BaseException`` that no library ``except Exception`` can swallow —
+  the analogue of ``kill -9`` for a single save call — and the
+  filesystem models **volatile page-cache loss**: bytes written but not
+  yet fsynced are truncated to a schedule-drawn prefix when the crash
+  lands, exactly the torn state a real power cut leaves behind.
+
+The point of all this machinery is one testable claim (the PR 10
+tentpole): *no* fault schedule may ever yield an accepted-but-corrupt
+bundle.  Every load either verifies the sha256 digest, raises a typed
+:class:`~repro.errors.IntegrityError`, or falls back to the last-good
+``.bak`` — ``tests/faultfs/`` sweeps schedules to prove it.
+"""
+
+from __future__ import annotations
+
+import errno
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import contextlib
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.serialize import IOProvider, RealIO, io_scope
+
+__all__ = ["FaultFS", "FaultSchedule", "SimulatedCrash", "fault_scope"]
+
+
+class SimulatedCrash(BaseException):
+    """The process "died" here — ``kill -9`` for a single filesystem op.
+
+    Deliberately a ``BaseException``: production code that catches
+    ``Exception`` (or ``OSError``) to clean up after failed saves must
+    not be able to intercept a crash, because a real SIGKILL would not
+    let it.  Only the test harness (or the supervisor's subprocess
+    boundary) catches this.
+    """
+
+
+# Fault-kind tags for the per-decision RNG streams (mirrors chaos.py).
+_KIND_TORN = 1
+_KIND_ENOSPC = 2
+_KIND_EIO = 3
+_KIND_DROP_FSYNC = 4
+_KIND_CRASH_RENAME = 5
+_KIND_TORN_FRACTION = 6
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A seeded, picklable plan of filesystem faults.
+
+    Op indices are 0-based counters *per fault kind*: the ``k``-th call
+    to ``write_bytes`` consults ``torn_write_at[k]`` / ``enospc_at``,
+    the ``k``-th ``read_bytes`` consults ``eio_at``, and so on.  Exact
+    plans (the ``*_at`` collections) pin faults to specific ops for
+    crash-matrix tests; the ``*_rate`` knobs draw per-op from the seeded
+    stream for randomized sweeps.  A default schedule injects nothing.
+
+    Parameters
+    ----------
+    seed:
+        Root seed for every per-decision RNG stream.
+    torn_write_at:
+        ``{write_index: fraction}`` — that write persists only the first
+        ``fraction`` of its bytes and then the process crashes
+        (:class:`SimulatedCrash`).  ``fraction`` in ``[0, 1]``.
+    torn_write_rate:
+        Per-write probability of the same, with the torn fraction drawn
+        from the seeded stream.
+    enospc_at:
+        Write indices that fail with ``ENOSPC`` (no bytes persisted —
+        the disk is full; the op raises ``OSError`` and the process
+        lives).
+    enospc_rate:
+        Per-write probability of ``ENOSPC``.
+    eio_at:
+        Read indices that fail with ``EIO`` (the medium returned
+        garbage; the op raises ``OSError``).
+    eio_rate:
+        Per-read probability of ``EIO``.
+    drop_fsync_at:
+        fsync indices (file and directory fsyncs share one counter)
+        that silently do nothing — the durability barrier lies.  Bytes
+        written before a dropped fsync remain volatile and are lost if
+        a later crash lands in the same scope.
+    drop_fsync_rate:
+        Per-fsync probability of the same.
+    crash_at_rename:
+        ``{rename_index: "before" | "after"}`` — the process crashes
+        immediately before (rename never happened) or immediately after
+        (rename durable, nothing else ran) that ``replace`` call.
+    """
+
+    seed: int = 0
+    torn_write_at: Mapping[int, float] = field(default_factory=dict)
+    torn_write_rate: float = 0.0
+    enospc_at: frozenset[int] | tuple[int, ...] = ()
+    enospc_rate: float = 0.0
+    eio_at: frozenset[int] | tuple[int, ...] = ()
+    eio_rate: float = 0.0
+    drop_fsync_at: frozenset[int] | tuple[int, ...] = ()
+    drop_fsync_rate: float = 0.0
+    crash_at_rename: Mapping[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for name in ("torn_write_rate", "enospc_rate", "eio_rate", "drop_fsync_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {rate}")
+        for index, fraction in self.torn_write_at.items():
+            if not 0.0 <= fraction <= 1.0:
+                raise ConfigError(
+                    f"torn_write_at[{index}] must be a fraction in [0, 1], got {fraction}"
+                )
+        for index, phase in self.crash_at_rename.items():
+            if phase not in ("before", "after"):
+                raise ConfigError(
+                    f"crash_at_rename[{index}] must be 'before' or 'after', got {phase!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def _draw(self, kind: int, index: int) -> float:
+        """One uniform draw, fully determined by the decision point."""
+        rng = np.random.default_rng([self.seed, kind, index])
+        return float(rng.random())
+
+    def torn_fraction(self, index: int) -> float | None:
+        """Surviving-bytes fraction when write ``index`` tears, else None."""
+        if index in self.torn_write_at:
+            return float(self.torn_write_at[index])
+        if self.torn_write_rate > 0.0 and self._draw(_KIND_TORN, index) < self.torn_write_rate:
+            return self._draw(_KIND_TORN_FRACTION, index)
+        return None
+
+    def write_enospc(self, index: int) -> bool:
+        """True when write ``index`` hits a full disk."""
+        if index in self.enospc_at:
+            return True
+        return self.enospc_rate > 0.0 and self._draw(_KIND_ENOSPC, index) < self.enospc_rate
+
+    def read_eio(self, index: int) -> bool:
+        """True when read ``index`` hits a medium error."""
+        if index in self.eio_at:
+            return True
+        return self.eio_rate > 0.0 and self._draw(_KIND_EIO, index) < self.eio_rate
+
+    def fsync_dropped(self, index: int) -> bool:
+        """True when fsync ``index`` silently does nothing."""
+        if index in self.drop_fsync_at:
+            return True
+        return (
+            self.drop_fsync_rate > 0.0
+            and self._draw(_KIND_DROP_FSYNC, index) < self.drop_fsync_rate
+        )
+
+    def rename_crash(self, index: int) -> str | None:
+        """``"before"`` / ``"after"`` when rename ``index`` crashes, else None."""
+        return self.crash_at_rename.get(index)
+
+
+class FaultFS:
+    """An :class:`~repro.serialize.IOProvider` that injects scheduled faults.
+
+    Wraps a real provider and models the page cache: ``write_bytes``
+    lands in a volatile overlay, ``fsync_file`` flushes a file's bytes
+    to the backing provider, and a :class:`SimulatedCrash` discards
+    everything still volatile — truncating the crashing write itself to
+    its schedule-drawn prefix.  ``replace`` is atomic (as on POSIX) but
+    only as durable as the directory fsync that follows it.
+
+    One instance = one simulated process lifetime: op counters advance
+    monotonically and a crash poisons the instance (subsequent ops
+    raise), mirroring how a dead process issues no further I/O.  Create
+    a fresh instance (same schedule, next attempt) to model a restart.
+    """
+
+    def __init__(self, schedule: FaultSchedule, base: IOProvider | None = None) -> None:
+        self.schedule = schedule
+        self.base = base if base is not None else RealIO()
+        self.writes = 0
+        self.reads = 0
+        self.fsyncs = 0
+        self.renames = 0
+        self.crashed = False
+        # path -> volatile bytes written but not yet flushed to `base`.
+        self._volatile: dict[pathlib.Path, bytes] = {}
+
+    # -- crash plumbing -------------------------------------------------
+    def _check_alive(self) -> None:
+        if self.crashed:
+            raise SimulatedCrash("filesystem op after simulated crash")
+
+    def _crash(self, message: str) -> None:
+        """Die here: volatile bytes are lost, the instance is poisoned."""
+        self.crashed = True
+        self._volatile.clear()
+        raise SimulatedCrash(message)
+
+    def _flush(self, path: pathlib.Path) -> None:
+        if path in self._volatile:
+            self.base.write_bytes(path, self._volatile.pop(path))
+
+    # -- IOProvider surface ---------------------------------------------
+    def read_bytes(self, path: pathlib.Path) -> bytes:
+        self._check_alive()
+        index = self.reads
+        self.reads += 1
+        if self.schedule.read_eio(index):
+            # repro: allow[typed-errors] - an injected fault must look like the real OSError
+            raise OSError(errno.EIO, f"injected EIO reading {path} (read #{index})")
+        if path in self._volatile:
+            return self._volatile[path]
+        return self.base.read_bytes(path)
+
+    def write_bytes(self, path: pathlib.Path, data: bytes) -> None:
+        self._check_alive()
+        index = self.writes
+        self.writes += 1
+        if self.schedule.write_enospc(index):
+            # repro: allow[typed-errors] - an injected fault must look like the real OSError
+            raise OSError(errno.ENOSPC, f"injected ENOSPC writing {path} (write #{index})")
+        fraction = self.schedule.torn_fraction(index)
+        if fraction is not None:
+            # The tear is what a power cut persists: a prefix of the
+            # write reaches the disk, the rest never existed.
+            torn = data[: int(len(data) * fraction)]
+            self.base.write_bytes(path, torn)
+            self._crash(f"torn write at #{index}: {len(torn)}/{len(data)} bytes persisted")
+        self._volatile[path] = data
+
+    def fsync_file(self, path: pathlib.Path) -> None:
+        self._check_alive()
+        index = self.fsyncs
+        self.fsyncs += 1
+        if self.schedule.fsync_dropped(index):
+            return  # the barrier lies: bytes stay volatile
+        self._flush(path)
+        if path.exists():
+            self.base.fsync_file(path)
+
+    def snapshot(self, src: pathlib.Path, dst: pathlib.Path) -> None:
+        self._check_alive()
+        self._flush(src)
+        self.base.snapshot(src, dst)
+
+    def replace(self, src: pathlib.Path, dst: pathlib.Path) -> None:
+        self._check_alive()
+        index = self.renames
+        self.renames += 1
+        phase = self.schedule.rename_crash(index)
+        if phase == "before":
+            self._crash(f"crash before rename #{index} ({src} -> {dst})")
+        if src in self._volatile and phase == "after":
+            # The deadly combination: the file's fsync was dropped (its
+            # bytes are volatile) but the rename's directory metadata
+            # survives the crash.  The published file holds only a torn
+            # prefix — the accepted-but-corrupt candidate the content
+            # digest exists to catch.
+            data = self._volatile.pop(src)
+            fraction = self.schedule._draw(_KIND_TORN_FRACTION, index)
+            # Materialize the torn prefix at the source and rename it,
+            # as a real crash would: the rename swaps the directory
+            # entry to a NEW inode, so a hardlinked .bak of the old
+            # target keeps the old content.  Writing dst in place would
+            # corrupt the backup through the shared inode.
+            self.base.write_bytes(src, data[: int(len(data) * fraction)])
+            self.base.replace(src, dst)
+            self._crash(f"crash after rename #{index} with unsynced content ({dst} torn)")
+        self._flush(src)
+        self.base.replace(src, dst)
+        if phase == "after":
+            self._crash(f"crash after rename #{index} ({src} -> {dst})")
+
+    def fsync_dir(self, path: pathlib.Path) -> None:
+        self._check_alive()
+        index = self.fsyncs
+        self.fsyncs += 1
+        if self.schedule.fsync_dropped(index):
+            return
+        self.base.fsync_dir(path)
+
+
+@contextlib.contextmanager
+def fault_scope(schedule: FaultSchedule) -> Iterator[FaultFS]:
+    """Run a block with ``schedule``'s faults injected into repro.serialize.
+
+    Yields the live :class:`FaultFS` so callers can inspect op counters
+    afterwards.  A :class:`SimulatedCrash` escaping the block is the
+    caller's to catch — it *is* the simulated process death.
+    """
+    fs = FaultFS(schedule)
+    with io_scope(fs):
+        yield fs

@@ -24,6 +24,11 @@ Every failure mode — not an artifact file, newer format version, unknown
 or missing config fields, missing/extra/mis-shaped weights, invalid dtype
 — raises :class:`~repro.errors.ConfigError` with a message naming the
 problem; nothing surfaces as ``KeyError`` or loads as silent garbage.
+Byte-level damage — truncation, bit flips, a failed sha256 content
+digest — raises :class:`~repro.errors.IntegrityError` instead: saves go
+through :func:`repro.serialize.atomic_savez` (temp file + fsync + atomic
+rename + directory fsync, digest embedded), so a crash mid-save can
+never tear the published artifact and a damaged file can never load.
 """
 
 from __future__ import annotations
@@ -39,18 +44,20 @@ from repro.kernels.policy import dtype_scope, get_default_dtype, resolve_dtype
 from repro.model.config import RitaConfig
 from repro.model.rita import RitaModel
 from repro.serialize import (
+    atomic_savez,
     check_format_version,
     decode_json,
     encode_json,
-    open_archive,
     read_format_version,
-    saved_npz_path,
+    read_verified,
 )
 
 __all__ = ["ModelArtifact", "ARTIFACT_FORMAT_VERSION"]
 
 #: Bump on incompatible layout changes; loaders reject newer files.
-ARTIFACT_FORMAT_VERSION = 1
+#: Version 2 added the embedded integrity digest (additive — version-1
+#: files still load, unverified).
+ARTIFACT_FORMAT_VERSION = 2
 
 #: JSON header: format version, config dict, dtype string, user metadata.
 _HEADER_KEY = "__artifact__"
@@ -108,12 +115,14 @@ class ModelArtifact:
 
     # ------------------------------------------------------------------
     def save(self, path) -> "pathlib.Path":
-        """Write the artifact as a single ``.npz`` bundle.
+        """Durably write the artifact as a single ``.npz`` bundle.
 
         Returns the path actually written: NumPy appends ``.npz`` when
         missing, so ``save("model.rita")`` creates ``model.rita.npz`` —
         ship the returned path, not the one passed in.  :meth:`load`
-        accepts either form.
+        accepts either form.  The write is atomic and digest-stamped
+        (:func:`repro.serialize.atomic_savez`): a crash at any point
+        leaves either the previous artifact or the complete new one.
         """
         header = {
             "format_version": self.format_version,
@@ -124,30 +133,36 @@ class ModelArtifact:
         payload = {f"{_WEIGHT_PREFIX}{name}": values for name, values in self.weights.items()}
         payload[_HEADER_KEY] = encode_json(header)
         payload[_VERSION_KEY] = np.asarray(self.format_version, dtype=np.int64)
-        target = saved_npz_path(path)
-        np.savez(target, **payload)
-        return target
+        return atomic_savez(path, payload)
 
     @classmethod
     def load(cls, path) -> "ModelArtifact":
-        """Read an artifact; every failure mode raises :class:`ConfigError`."""
-        with open_archive(path, what="model artifact") as archive:
-            if _HEADER_KEY not in archive:
-                raise ConfigError(
-                    f"{path} is not a model artifact (no {_HEADER_KEY!r} header); "
-                    "training checkpoints are loaded with repro.train.load_checkpoint"
-                )
-            version = check_format_version(
-                read_format_version(archive, _VERSION_KEY),
-                ARTIFACT_FORMAT_VERSION,
-                what=f"model artifact {path}",
+        """Read an artifact; every failure mode raises a typed error.
+
+        The bundle is read eagerly and its sha256 content digest checked:
+        truncated, bit-flipped, or unreadable files raise
+        :class:`~repro.errors.IntegrityError` (never a bare
+        ``zipfile.BadZipFile``); semantic problems — wrong format
+        version, malformed header, non-artifact files — raise
+        :class:`~repro.errors.ConfigError` as before.
+        """
+        payload = read_verified(path, what="model artifact")
+        if _HEADER_KEY not in payload:
+            raise ConfigError(
+                f"{path} is not a model artifact (no {_HEADER_KEY!r} header); "
+                "training checkpoints are loaded with repro.train.load_checkpoint"
             )
-            header = decode_json(archive[_HEADER_KEY], "artifact header")
-            weights = {
-                key[len(_WEIGHT_PREFIX):]: archive[key]
-                for key in archive.files
-                if key.startswith(_WEIGHT_PREFIX)
-            }
+        version = check_format_version(
+            read_format_version(payload, _VERSION_KEY),
+            ARTIFACT_FORMAT_VERSION,
+            what=f"model artifact {path}",
+        )
+        header = decode_json(payload[_HEADER_KEY], "artifact header")
+        weights = {
+            key[len(_WEIGHT_PREFIX):]: values
+            for key, values in payload.items()
+            if key.startswith(_WEIGHT_PREFIX)
+        }
         for required in ("config", "dtype"):
             if required not in header:
                 raise ConfigError(f"artifact header missing {required!r} field")

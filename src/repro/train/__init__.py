@@ -3,8 +3,9 @@
 from repro.train.metrics import accuracy, macro_f1, mae, mse
 from repro.train.trainer import EpochStats, History, Trainer, evaluate_task
 from repro.train.parallel_eval import evaluate_task_parallel
-from repro.train.checkpoint import load_checkpoint, save_checkpoint
+from repro.train.checkpoint import CheckpointManager, load_checkpoint, save_checkpoint
 from repro.train.callbacks import EarlyStopping
+from repro.train.supervisor import SupervisedRun, Supervisor, TrainingRecipe, TrainPlan
 
 __all__ = [
     "accuracy",
@@ -16,7 +17,12 @@ __all__ = [
     "Trainer",
     "evaluate_task",
     "evaluate_task_parallel",
+    "CheckpointManager",
     "load_checkpoint",
     "save_checkpoint",
     "EarlyStopping",
+    "Supervisor",
+    "SupervisedRun",
+    "TrainingRecipe",
+    "TrainPlan",
 ]

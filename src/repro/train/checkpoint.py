@@ -1,4 +1,4 @@
-"""Model + training-state checkpointing.
+"""Model + training-state checkpointing, crash-consistently.
 
 Serializes a module's ``state_dict`` (plus arbitrary JSON-compatible
 metadata) to a single ``.npz`` file.  Used to hand pretrained encoders to
@@ -15,33 +15,55 @@ reproduces the uninterrupted run exactly (tested in
 ``tests/train/test_resume.py``); omitting them restores weights only, as
 before.
 
+Durability: :func:`save_checkpoint` rides
+:func:`repro.serialize.atomic_savez` — temp-file + fsync + atomic rename
++ directory fsync, with a sha256 content digest embedded in the bundle
+and the previous good file rotated to ``<name>.bak``.  A ``kill -9`` or
+``ENOSPC`` at any point during a save leaves the old checkpoint intact;
+:func:`load_checkpoint` verifies the digest and falls back to the
+``.bak`` when the primary is damaged, so the worst outcome of any crash
+is "one save lost", never "all checkpoints lost".
+:class:`CheckpointManager` layers numbered, pruned checkpoint series on
+top for long runs (and the training supervisor).
+
 Checkpoints carry a format version.  :func:`load_checkpoint` raises
 :class:`~repro.errors.ConfigError` — never ``KeyError`` or silent
 garbage — on a version newer than this build, corrupt JSON payloads,
-missing/unexpected parameters, or shape mismatches.  Unversioned files
-from older builds still load (version 0).
+missing/unexpected parameters, or shape mismatches; truncated or
+digest-mismatched files raise :class:`~repro.errors.IntegrityError`.
+Unversioned files from older builds still load (version 0), and files
+from before digests existed load unverified.
 """
 
 from __future__ import annotations
 
+import pathlib
+import re
+
 import numpy as np
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, IntegrityError
 from repro.nn.module import Module
 from repro.serialize import (
+    atomic_savez,
+    backup_path,
     check_format_version,
     decode_json,
     encode_json,
-    open_archive,
-    read_format_version,
-    saved_npz_path,
+    read_with_backup,
 )
 
-__all__ = ["save_checkpoint", "load_checkpoint", "CHECKPOINT_FORMAT_VERSION"]
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "CheckpointManager",
+    "CHECKPOINT_FORMAT_VERSION",
+]
 
 #: Bump when the on-disk layout changes incompatibly.  Version 1 added the
-#: explicit version key; version-0 files (pre-versioning) still load.
-CHECKPOINT_FORMAT_VERSION = 1
+#: explicit version key; version 2 added the embedded integrity digest
+#: (additive — version-0/1 files still load, unverified).
+CHECKPOINT_FORMAT_VERSION = 2
 
 _METADATA_KEY = "__checkpoint_metadata__"
 #: JSON blob holding optimizer scalars and the scheduler state.
@@ -59,10 +81,15 @@ def save_checkpoint(
     metadata: dict | None = None,
     optimizer=None,
     scheduler=None,
+    *,
+    make_backup: bool = True,
 ):
-    """Write the model's parameters (and optional training state) to ``path``.
+    """Durably write the model's parameters (and training state) to ``path``.
 
     Returns the path actually written (``.npz`` appended when missing).
+    The write is atomic and digest-stamped (see module docstring); when
+    ``make_backup`` is true (the default) the previous checkpoint at
+    ``path`` is rotated to ``<name>.bak`` first.
 
     Parameters
     ----------
@@ -82,6 +109,8 @@ def save_checkpoint(
         Optional :class:`~repro.optim.lr_scheduler.LRScheduler`; persists
         the schedule epoch so resumed warmup/decay picks up where it left
         off.
+    make_backup:
+        Rotate the existing file to ``<name>.bak`` before replacing it.
     """
     state = model.state_dict()
     for name in state:
@@ -101,13 +130,17 @@ def save_checkpoint(
         train_state["scheduler"] = scheduler.state_dict()
     if train_state:
         payload[_TRAIN_STATE_KEY] = encode_json(train_state)
-    target = saved_npz_path(path)
-    np.savez(target, **payload)
-    return target
+    return atomic_savez(path, payload, make_backup=make_backup)
 
 
 def load_checkpoint(model: Module, path, optimizer=None, scheduler=None) -> dict:
     """Load parameters saved by :func:`save_checkpoint`; returns metadata.
+
+    The bundle is read eagerly and its sha256 content digest verified; a
+    truncated or corrupted file raises
+    :class:`~repro.errors.IntegrityError` — unless a last-good
+    ``<name>.bak`` rotation exists and verifies, in which case it loads
+    from the backup instead (the metadata then reflects the backup).
 
     The model architecture must match (same parameter names and shapes);
     mismatches raise :class:`~repro.errors.ConfigError` via
@@ -117,32 +150,32 @@ def load_checkpoint(model: Module, path, optimizer=None, scheduler=None) -> dict
     raises :class:`~repro.errors.ConfigError` (resuming would silently
     reset the trajectory otherwise).
     """
-    with open_archive(path, what="checkpoint") as archive:
-        check_format_version(
-            read_format_version(archive, _VERSION_KEY),
-            CHECKPOINT_FORMAT_VERSION,
-            what=f"checkpoint {path}",
-        )
-        metadata = (
-            decode_json(archive[_METADATA_KEY], "checkpoint metadata")
-            if _METADATA_KEY in archive
-            else {}
-        )
-        train_state = (
-            decode_json(archive[_TRAIN_STATE_KEY], "checkpoint training state")
-            if _TRAIN_STATE_KEY in archive
-            else {}
-        )
-        optim_arrays: dict[str, dict[str, np.ndarray]] = {}
-        state = {}
-        for key in archive.files:
-            if key in (_METADATA_KEY, _TRAIN_STATE_KEY, _VERSION_KEY):
-                continue
-            if key.startswith(_OPTIM_PREFIX):
-                index, name = key[len(_OPTIM_PREFIX):].split("/", 1)
-                optim_arrays.setdefault(index, {})[name] = archive[key]
-                continue
-            state[key] = archive[key]
+    payload, _ = read_with_backup(path, what="checkpoint")
+    check_format_version(
+        _payload_version(payload),
+        CHECKPOINT_FORMAT_VERSION,
+        what=f"checkpoint {path}",
+    )
+    metadata = (
+        decode_json(payload[_METADATA_KEY], "checkpoint metadata")
+        if _METADATA_KEY in payload
+        else {}
+    )
+    train_state = (
+        decode_json(payload[_TRAIN_STATE_KEY], "checkpoint training state")
+        if _TRAIN_STATE_KEY in payload
+        else {}
+    )
+    optim_arrays: dict[str, dict[str, np.ndarray]] = {}
+    state = {}
+    for key, value in payload.items():
+        if key in (_METADATA_KEY, _TRAIN_STATE_KEY, _VERSION_KEY):
+            continue
+        if key.startswith(_OPTIM_PREFIX):
+            index, name = key[len(_OPTIM_PREFIX):].split("/", 1)
+            optim_arrays.setdefault(index, {})[name] = value
+            continue
+        state[key] = value
     model.load_state_dict(state)
     if optimizer is not None:
         if "optimizer" not in train_state:
@@ -159,3 +192,122 @@ def load_checkpoint(model: Module, path, optimizer=None, scheduler=None) -> dict
             )
         scheduler.load_state_dict(train_state["scheduler"])
     return metadata
+
+
+def _payload_version(payload: dict) -> int:
+    """Format version of an eagerly-loaded payload (0 when pre-versioning)."""
+    if _VERSION_KEY not in payload:
+        return 0
+    try:
+        return int(np.asarray(payload[_VERSION_KEY]).reshape(()))
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"corrupt format-version entry {_VERSION_KEY!r}: {exc}") from None
+
+
+class CheckpointManager:
+    """Numbered, pruned, verified checkpoint series for long runs.
+
+    Writes ``<prefix>-<step:08d>.npz`` files into a directory via
+    :func:`save_checkpoint` (atomic + digest-stamped + ``.bak``-rotated)
+    and keeps only the newest ``keep_last`` — older files *and their
+    backups* are pruned after each successful save, never before, so a
+    crash mid-save cannot reduce the number of loadable checkpoints.
+
+    :meth:`load_latest` walks the series newest-first and restores the
+    first checkpoint that passes verification, skipping (not deleting)
+    damaged ones — the recovery primitive the training supervisor builds
+    on.
+    """
+
+    def __init__(
+        self,
+        directory,
+        prefix: str = "ckpt",
+        keep_last: int = 3,
+    ) -> None:
+        if keep_last < 1:
+            raise ConfigError(f"keep_last must be >= 1, got {keep_last}")
+        if not re.fullmatch(r"[A-Za-z0-9_.-]+", prefix):
+            raise ConfigError(f"checkpoint prefix must be a simple name, got {prefix!r}")
+        self.directory = pathlib.Path(directory)
+        self.prefix = prefix
+        self.keep_last = keep_last
+        self._pattern = re.compile(re.escape(prefix) + r"-(\d{8})\.npz$")
+
+    # ------------------------------------------------------------------
+    def path_for(self, step: int) -> pathlib.Path:
+        return self.directory / f"{self.prefix}-{step:08d}.npz"
+
+    def steps(self) -> list[int]:
+        """All step numbers with a checkpoint file on disk, ascending."""
+        if not self.directory.is_dir():
+            return []
+        found = []
+        for entry in self.directory.iterdir():
+            match = self._pattern.fullmatch(entry.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        model: Module,
+        step: int,
+        metadata: dict | None = None,
+        optimizer=None,
+        scheduler=None,
+    ) -> pathlib.Path:
+        """Save step ``step`` durably, then prune beyond ``keep_last``."""
+        if step < 0:
+            raise ConfigError(f"checkpoint step must be >= 0, got {step}")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        meta = dict(metadata or {})
+        meta.setdefault("step", int(step))
+        target = save_checkpoint(
+            model,
+            self.path_for(step),
+            metadata=meta,
+            optimizer=optimizer,
+            scheduler=scheduler,
+        )
+        self._prune()
+        return target
+
+    def _prune(self) -> None:
+        for step in self.steps()[: -self.keep_last]:
+            stale = self.path_for(step)
+            stale.unlink(missing_ok=True)
+            backup_path(stale).unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    def latest_verified(self) -> pathlib.Path | None:
+        """Newest checkpoint path whose bundle passes verification.
+
+        Walks newest-first; a checkpoint that fails its digest (and
+        whose ``.bak`` also fails) is skipped, not deleted — the older
+        survivor is the recovery point.  Returns None when nothing on
+        disk verifies.
+        """
+        for step in reversed(self.steps()):
+            candidate = self.path_for(step)
+            try:
+                read_with_backup(candidate, what="checkpoint")
+            except (IntegrityError, ConfigError):
+                continue
+            return candidate
+        return None
+
+    def load_latest(self, model: Module, optimizer=None, scheduler=None) -> dict | None:
+        """Restore the newest verifiable checkpoint; None when none exists.
+
+        Returns the restored checkpoint's metadata (which carries
+        ``step``).  Architecture mismatches against a *verified* bundle
+        still raise :class:`~repro.errors.ConfigError` — that is a
+        caller bug, not corruption, and silently skipping to an older
+        file would mask it.
+        """
+        latest = self.latest_verified()
+        if latest is None:
+            return None
+        return load_checkpoint(model, latest, optimizer=optimizer, scheduler=scheduler)

@@ -25,7 +25,7 @@ import numpy as np
 from repro.autograd.tensor import Tensor, no_grad
 from repro.data.dataloader import DataLoader
 from repro.data.dataset import ArrayDataset
-from repro.errors import ConfigError
+from repro.errors import ConfigError, DivergenceError
 from repro.kernels.backend import get_backend
 from repro.kernels.parallel import ParallelNumpyBackend
 from repro.kernels.threads import get_num_threads
@@ -217,7 +217,15 @@ class Trainer:
             self.optimizer.step()
             if self.adaptive_scheduler is not None:
                 self.adaptive_scheduler.step()
-            total_loss += float(loss.data)
+            batch_loss = float(loss.data)
+            if not np.isfinite(batch_loss):
+                raise DivergenceError(
+                    f"training diverged: batch loss is {batch_loss} at epoch batch "
+                    f"{n_batches} — a NaN/inf loss poisons every later update; "
+                    f"roll back to the last checkpoint (lower the learning rate "
+                    f"or clip gradients if it recurs)"
+                )
+            total_loss += batch_loss
             n_batches += 1
         seconds = time.perf_counter() - started
         seconds_after, reclusters_after = _grouping_totals(self.model)

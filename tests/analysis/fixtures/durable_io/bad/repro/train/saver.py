@@ -1,0 +1,35 @@
+"""Seeded durable-io violations: persistence that bypasses repro.serialize."""
+
+import json
+
+import numpy as np
+
+
+def save_weights(path, payload):
+    np.savez(path, **payload)  # EXPECT[durable-io]
+
+
+def save_weights_compressed(path, payload):
+    np.savez_compressed(path, **payload)  # EXPECT[durable-io]
+
+
+def save_single(path, array):
+    np.save(path, array)  # EXPECT[durable-io]
+
+
+def write_manifest(path, entries):
+    path.write_text(json.dumps(entries))  # EXPECT[durable-io]
+
+
+def write_blob(path, data):
+    path.write_bytes(data)  # EXPECT[durable-io]
+
+
+def append_log(path, line):
+    with open(path, "a") as handle:  # EXPECT[durable-io]
+        handle.write(line)
+
+
+def dump_raw(path, data):
+    with open(path, mode="wb") as handle:  # EXPECT[durable-io]
+        handle.write(data)

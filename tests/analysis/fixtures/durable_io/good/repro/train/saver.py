@@ -1,0 +1,29 @@
+"""Compliant persistence: everything rides the crash-consistent core."""
+
+import json
+
+from repro.serialize import atomic_savez, atomic_write_bytes, atomic_write_text
+
+
+def save_weights(path, payload):
+    return atomic_savez(path, payload, make_backup=True)
+
+
+def write_manifest(path, entries):
+    return atomic_write_text(path, json.dumps(entries))
+
+
+def write_blob(path, data):
+    return atomic_write_bytes(path, data)
+
+
+def read_manifest(path):
+    # Reads cannot tear a file; open() without a write mode is fine.
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def append_scratch_log(path, line):
+    # repro: allow[durable-io] - append-only scratch log; a torn tail line is acceptable
+    with open(path, "a") as handle:
+        handle.write(line)

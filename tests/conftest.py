@@ -36,13 +36,19 @@ def npz_resave():
     Corruption helper shared by the checkpoint- and artifact-format
     failure-mode suites: ``npz_resave(path, out, drop=(...), key=value)``
     returns ``out`` rewritten from ``path`` minus ``drop`` plus the
-    replacements.
+    replacements.  The integrity digest is restamped over the edited
+    payload so the rewrite exercises the *semantic* failure mode behind
+    the digest gate (pass ``restamp=False`` to leave the now-stale
+    digest in place and trigger ``IntegrityError`` instead).
     """
+    from repro.serialize import INTEGRITY_KEY, integrity_entry
 
-    def _resave(path, out, drop=(), **replace):
+    def _resave(path, out, drop=(), restamp=True, **replace):
         with np.load(path) as archive:
             payload = {k: archive[k] for k in archive.files if k not in drop}
         payload.update(replace)
+        if restamp and INTEGRITY_KEY in payload:
+            payload[INTEGRITY_KEY] = integrity_entry(payload)  # digest skips the key itself
         np.savez(out, **payload)
         return out
 

@@ -1,0 +1,80 @@
+"""Satellite regression: a corrupt artifact inside one cell must not
+take the worker down.
+
+A runner that hits a damaged ``.npz`` raises
+:class:`~repro.errors.IntegrityError` (the durability stack's typed
+error).  The worker records it as a typed error row — ``error_type ==
+"IntegrityError"`` — and moves on to drain the remaining cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import IntegrityError
+from repro.experiments.grid import (
+    GridStore,
+    WorkerConfig,
+    register_runner,
+    run_worker,
+)
+from repro.experiments.grid.runners import _RUNNERS
+from repro.serialize import atomic_savez, read_verified
+
+
+@pytest.fixture(autouse=True)
+def _test_runners(tmp_path):
+    """One genuinely corrupt bundle; odd cells try to read it."""
+    corrupt = atomic_savez(tmp_path / "weights", {"w": np.ones(4)})
+    corrupt.write_bytes(corrupt.read_bytes()[:40])
+
+    before = dict(_RUNNERS)
+
+    @register_runner("t_load_artifact")
+    def t_load_artifact(params):
+        if params["x"] % 2:
+            payload = read_verified(corrupt, what="cell artifact")
+        else:
+            payload = {"w": np.full(4, float(params["x"]))}
+        return {"row": {"x": params["x"], "norm": float(np.sum(payload["w"]))}}
+
+    yield
+    _RUNNERS.clear()
+    _RUNNERS.update(before)
+
+
+@pytest.fixture
+def db(tmp_path):
+    path = str(tmp_path / "grid.db")
+    with GridStore(path, create=True) as store:
+        store.fill("g", "t_load_artifact", [{"x": i} for i in range(6)])
+    return path
+
+
+def test_integrity_error_becomes_typed_row_and_worker_moves_on(db):
+    report = run_worker(WorkerConfig(db_path=db, grid="g", worker_id="w"))
+    # The worker survived every corrupt cell and drained the grid.
+    assert (report.done, report.errors, report.lost) == (3, 3, 0)
+    with GridStore(db) as store:
+        errored = store.cells("g", status="error")
+        assert sorted(c.params["x"] for c in errored) == [1, 3, 5]
+        assert {c.error_type for c in errored} == {"IntegrityError"}
+        assert all("cell artifact" in c.error_message for c in errored)
+        done = store.cells("g", status="done")
+        assert sorted(c.params["x"] for c in done) == [0, 2, 4]
+
+
+def test_integrity_error_rows_are_retryable(db):
+    run_worker(WorkerConfig(db_path=db, grid="g", worker_id="w"))
+    with GridStore(db) as store:
+        assert store.reset_errors("g") == 3
+        assert store.counts("g")["g"]["pending"] == 3
+
+
+def test_runner_raises_the_typed_error(tmp_path):
+    """Sanity: the corrupt bundle really surfaces as IntegrityError."""
+    path = atomic_savez(tmp_path / "bundle", {"w": np.ones(2)})
+    path.write_bytes(path.read_bytes()[:40])
+    with pytest.raises(IntegrityError):
+        read_verified(path, what="cell artifact")

@@ -1,0 +1,175 @@
+"""Crash-consistent serialization core: atomic writes, digests, backups."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, IntegrityError
+from repro.serialize import (
+    INTEGRITY_KEY,
+    atomic_savez,
+    atomic_write_bytes,
+    atomic_write_text,
+    backup_path,
+    content_digest,
+    integrity_entry,
+    read_verified,
+    read_with_backup,
+)
+
+
+def payload(scale=1.0):
+    return {
+        "weights/w": np.arange(12.0).reshape(3, 4) * scale,
+        "bias": np.ones(4) * scale,
+    }
+
+
+class TestAtomicSavez:
+    def test_round_trip(self, tmp_path):
+        path = atomic_savez(tmp_path / "bundle", payload())
+        assert path.name == "bundle.npz"
+        got = read_verified(path, require_digest=True)
+        assert sorted(got) == ["bias", "weights/w"]
+        np.testing.assert_array_equal(got["weights/w"], payload()["weights/w"])
+
+    def test_no_temp_litter_after_success(self, tmp_path):
+        atomic_savez(tmp_path / "bundle", payload())
+        assert [p.name for p in tmp_path.iterdir()] == ["bundle.npz"]
+
+    def test_reserved_key_rejected(self, tmp_path):
+        with pytest.raises(ConfigError, match="reserved"):
+            atomic_savez(tmp_path / "b", {INTEGRITY_KEY: np.zeros(1)})
+
+    def test_backup_rotation(self, tmp_path):
+        path = atomic_savez(tmp_path / "bundle", payload(1.0))
+        atomic_savez(path, payload(2.0), make_backup=True)
+        primary = read_verified(path)
+        np.testing.assert_array_equal(primary["bias"], np.ones(4) * 2.0)
+        rotated = read_verified(backup_path(path))
+        np.testing.assert_array_equal(rotated["bias"], np.ones(4))
+
+    def test_first_save_has_no_backup(self, tmp_path):
+        path = atomic_savez(tmp_path / "bundle", payload(), make_backup=True)
+        assert not backup_path(path).exists()
+
+
+class TestDigest:
+    def test_digest_is_content_only(self):
+        # Same logical arrays -> same digest, regardless of dict order.
+        a = {"x": np.arange(3.0), "y": np.ones(2)}
+        b = {"y": np.ones(2), "x": np.arange(3.0)}
+        assert content_digest(a) == content_digest(b)
+
+    def test_digest_sees_dtype_and_shape(self):
+        base = {"x": np.zeros(4, dtype=np.float64)}
+        assert content_digest(base) != content_digest({"x": np.zeros(4, dtype=np.float32)})
+        assert content_digest(base) != content_digest({"x": np.zeros((2, 2))})
+
+    def test_digest_excludes_the_integrity_entry(self):
+        plain = payload()
+        stamped = dict(plain)
+        stamped[INTEGRITY_KEY] = integrity_entry(plain)
+        assert content_digest(stamped) == content_digest(plain)
+
+
+class TestReadVerified:
+    def test_missing_file_is_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            read_verified(tmp_path / "nope.npz")
+
+    def test_bit_flip_is_integrity_error(self, tmp_path):
+        path = atomic_savez(tmp_path / "bundle", payload())
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        with pytest.raises(IntegrityError):
+            read_verified(path)
+
+    @pytest.mark.parametrize("keep", [0, 1, 7, 64, 0.25, 0.5, 0.9, 0.99])
+    def test_truncation_at_any_offset_is_typed(self, tmp_path, keep):
+        path = atomic_savez(tmp_path / "bundle", payload())
+        raw = path.read_bytes()
+        cut = int(len(raw) * keep) if isinstance(keep, float) else keep
+        path.write_bytes(raw[:cut])
+        with pytest.raises((IntegrityError, ConfigError)):
+            read_verified(path)
+
+    def test_garbage_bytes_are_typed(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"PK\x03\x04 definitely not a zip")
+        with pytest.raises(IntegrityError, match="could not read"):
+            read_verified(path)
+
+    def test_npy_is_not_a_bundle(self, tmp_path):
+        target = tmp_path / "array.npz"
+        np.save(tmp_path / "array.npy", np.zeros(3))
+        (tmp_path / "array.npy").rename(target)
+        with pytest.raises(ConfigError, match="not an .npz bundle"):
+            read_verified(target)
+
+    def test_undigested_legacy_file_loads_unless_required(self, tmp_path):
+        legacy = tmp_path / "legacy.npz"
+        np.savez(legacy, **payload())
+        got = read_verified(legacy)
+        assert sorted(got) == ["bias", "weights/w"]
+        with pytest.raises(IntegrityError, match="no integrity digest"):
+            read_verified(legacy, require_digest=True)
+
+    def test_tampered_digest_entry_is_integrity_error(self, tmp_path):
+        full = payload()
+        full[INTEGRITY_KEY] = np.frombuffer(b"not json{", dtype=np.uint8)
+        path = tmp_path / "tampered.npz"
+        np.savez(path, **full)
+        with pytest.raises(IntegrityError):
+            read_verified(path)
+
+
+class TestReadWithBackup:
+    def test_prefers_the_primary(self, tmp_path):
+        path = atomic_savez(tmp_path / "bundle", payload(1.0))
+        atomic_savez(path, payload(2.0), make_backup=True)
+        got, used_backup = read_with_backup(path)
+        assert not used_backup
+        np.testing.assert_array_equal(got["bias"], np.ones(4) * 2.0)
+
+    def test_falls_back_on_corruption(self, tmp_path):
+        path = atomic_savez(tmp_path / "bundle", payload(1.0))
+        atomic_savez(path, payload(2.0), make_backup=True)
+        path.write_bytes(path.read_bytes()[:40])  # tear the primary
+        got, used_backup = read_with_backup(path)
+        assert used_backup
+        np.testing.assert_array_equal(got["bias"], np.ones(4))
+
+    def test_falls_back_on_missing_primary(self, tmp_path):
+        path = atomic_savez(tmp_path / "bundle", payload(1.0))
+        atomic_savez(path, payload(2.0), make_backup=True)
+        path.unlink()
+        got, used_backup = read_with_backup(path)
+        assert used_backup
+
+    def test_both_corrupt_raises_with_both_named(self, tmp_path):
+        path = atomic_savez(tmp_path / "bundle", payload(1.0))
+        atomic_savez(path, payload(2.0), make_backup=True)
+        path.write_bytes(b"junk")
+        backup_path(path).write_bytes(b"junk too")
+        with pytest.raises(IntegrityError, match="backup .* also unusable"):
+            read_with_backup(path)
+
+    def test_nothing_at_all_is_config_error(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            read_with_backup(tmp_path / "void.npz")
+
+
+class TestAtomicText:
+    def test_text_round_trip_and_backup(self, tmp_path):
+        path = tmp_path / "notes.json"
+        atomic_write_text(path, "v1\n")
+        atomic_write_text(path, "v2\n", make_backup=True)
+        assert path.read_text() == "v2\n"
+        assert backup_path(path).read_text() == "v1\n"
+
+    def test_bytes_round_trip(self, tmp_path):
+        path = atomic_write_bytes(tmp_path / "blob.bin", b"\x00\x01\x02")
+        assert path.read_bytes() == b"\x00\x01\x02"

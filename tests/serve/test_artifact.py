@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 import repro
-from repro.errors import ConfigError
+from repro.errors import ConfigError, IntegrityError
 from repro.serialize import decode_json, encode_json
 from repro.serve import ARTIFACT_FORMAT_VERSION, InferenceEngine, ModelArtifact
 from repro.train import save_checkpoint
@@ -83,7 +83,7 @@ class TestLoadFailureModes:
     def test_truncated_zip_bytes(self, tmp_path):
         path = tmp_path / "broken.npz"
         path.write_bytes(b"PK\x03\x04garbage")
-        with pytest.raises(ConfigError, match="could not read"):
+        with pytest.raises(IntegrityError, match="could not read"):
             ModelArtifact.load(path)
 
     def test_plain_npy_is_not_a_bundle(self, tmp_path):

@@ -1,0 +1,58 @@
+"""Deterministic training recipes shared by the durability test suites.
+
+Module-level (picklable) so the supervisor can ship the factory across a
+``spawn``/``fork`` process boundary.  The geometry mirrors
+``test_resume.make_setup``: vanilla attention, no dropout, unshuffled
+loader — the configuration whose resume is proven bitwise-identical.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data import ArrayDataset, DataLoader
+from repro.model import RitaConfig, RitaModel
+from repro.optim import AdamW, LinearWarmup
+from repro.tasks import ClassificationTask
+from repro.train import Trainer, TrainingRecipe
+
+
+def make_setup(seed=0, lr=1e-3):
+    """Deterministic model/optimizer/scheduler/data, as in test_resume."""
+    config = RitaConfig(
+        input_channels=2, max_len=16, dim=16, n_layers=1, n_heads=2,
+        attention="vanilla", dropout=0.0, n_classes=2,
+    )
+    model = RitaModel(config, rng=np.random.default_rng(seed))
+    optimizer = AdamW(model.parameters(), lr=lr)
+    scheduler = LinearWarmup(optimizer, warmup_epochs=4)
+    data_rng = np.random.default_rng(123)
+    dataset = ArrayDataset(
+        x=data_rng.random((16, 16, 2)), y=data_rng.integers(0, 2, 16)
+    )
+    return model, optimizer, scheduler, dataset
+
+
+def run_epochs(model, optimizer, scheduler, dataset, epochs):
+    """Unshuffled epochs (deterministic batch order); per-epoch losses."""
+    trainer = Trainer(model, ClassificationTask(), optimizer)
+    losses = []
+    for _ in range(epochs):
+        loader = DataLoader(dataset, batch_size=8, shuffle=False)
+        mean_loss, *_ = trainer.train_epoch(loader)
+        losses.append(mean_loss)
+        scheduler.step()
+    return losses
+
+
+def recipe_factory(seed=0, lr=1e-3):
+    """Supervisor factory: the same deterministic setup as a TrainingRecipe."""
+    model, optimizer, scheduler, dataset = make_setup(seed=seed, lr=lr)
+    return TrainingRecipe(
+        model=model,
+        task=ClassificationTask(),
+        optimizer=optimizer,
+        dataset=dataset,
+        scheduler=scheduler,
+        batch_size=8,
+    )

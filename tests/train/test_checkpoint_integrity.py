@@ -1,0 +1,162 @@
+"""Checkpoint durability: truncation table, .bak fallback, CheckpointManager."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, IntegrityError
+from repro.serialize import backup_path
+from repro.train import CheckpointManager, load_checkpoint, save_checkpoint
+
+from supervisor_recipes import make_setup, run_epochs
+
+
+@pytest.fixture
+def setup():
+    return make_setup()
+
+
+class TestTruncationTable:
+    """Satellite: truncate a valid checkpoint at many offsets; every offset
+    must produce a typed error or a successful .bak fallback — never a bare
+    zipfile/OSError escape and never silent garbage."""
+
+    @pytest.mark.parametrize(
+        "fraction", [0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.97, 0.999]
+    )
+    def test_truncated_without_backup_is_typed(self, tmp_path, setup, fraction):
+        model, opt, sched, _ = setup
+        path = save_checkpoint(model, tmp_path / "ckpt", optimizer=opt, scheduler=sched)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: int(len(raw) * fraction)])
+        with pytest.raises((IntegrityError, ConfigError)):
+            load_checkpoint(model, path)
+
+    @pytest.mark.parametrize("offset", [0, 1, 17, 100, 512, 4096])
+    def test_truncated_at_byte_offsets_is_typed(self, tmp_path, setup, offset):
+        model, opt, sched, _ = setup
+        path = save_checkpoint(model, tmp_path / "ckpt", optimizer=opt, scheduler=sched)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: min(offset, len(raw) - 1)])
+        with pytest.raises((IntegrityError, ConfigError)):
+            load_checkpoint(model, path)
+
+    @pytest.mark.parametrize("fraction", [0.1, 0.5, 0.9])
+    def test_truncated_with_backup_falls_back(self, tmp_path, setup, fraction):
+        model, opt, sched, data = setup
+        path = save_checkpoint(model, tmp_path / "ckpt", metadata={"epoch": 1})
+        run_epochs(model, opt, sched, data, epochs=1)
+        path = save_checkpoint(model, path, metadata={"epoch": 2})  # rotates .bak
+        raw = path.read_bytes()
+        path.write_bytes(raw[: int(len(raw) * fraction)])
+        fresh, _, _, _ = make_setup(seed=5)
+        assert load_checkpoint(fresh, path) == {"epoch": 1}
+
+    def test_bit_flip_is_rejected(self, tmp_path, setup):
+        model, *_ = setup
+        path = save_checkpoint(model, tmp_path / "ckpt")
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 3] ^= 0x01  # single bit
+        path.write_bytes(bytes(raw))
+        with pytest.raises(IntegrityError, match="integrity|corrupt|could not read"):
+            load_checkpoint(model, path)
+
+
+class TestBackupRotation:
+    def test_save_rotates_last_good(self, tmp_path, setup):
+        model, opt, sched, data = setup
+        path = save_checkpoint(model, tmp_path / "ckpt", metadata={"epoch": 1})
+        assert not backup_path(path).exists()
+        run_epochs(model, opt, sched, data, epochs=1)
+        save_checkpoint(model, path, metadata={"epoch": 2})
+        fresh, _, _, _ = make_setup(seed=7)
+        assert load_checkpoint(fresh, backup_path(path)) == {"epoch": 1}
+
+    def test_make_backup_false_skips_rotation(self, tmp_path, setup):
+        model, *_ = setup
+        path = save_checkpoint(model, tmp_path / "ckpt", make_backup=False)
+        save_checkpoint(model, path, make_backup=False)
+        assert not backup_path(path).exists()
+
+
+class TestCheckpointManager:
+    def test_series_and_pruning(self, tmp_path, setup):
+        model, opt, sched, data = setup
+        manager = CheckpointManager(tmp_path, keep_last=2)
+        for step in range(1, 5):
+            run_epochs(model, opt, sched, data, epochs=1)
+            manager.save(model, step, optimizer=opt, scheduler=sched)
+        assert manager.steps() == [3, 4]
+        # Pruned files AND their backups are gone.
+        assert not manager.path_for(1).exists()
+        assert not backup_path(manager.path_for(1)).exists()
+
+    def test_load_latest_resumes_bitwise(self, tmp_path):
+        model_a, opt_a, sched_a, data = make_setup()
+        losses_a = run_epochs(model_a, opt_a, sched_a, data, epochs=4)
+
+        model_b, opt_b, sched_b, _ = make_setup()
+        losses_b = run_epochs(model_b, opt_b, sched_b, data, epochs=2)
+        manager = CheckpointManager(tmp_path)
+        manager.save(model_b, 2, optimizer=opt_b, scheduler=sched_b)
+
+        model_c, opt_c, sched_c, _ = make_setup(seed=999)
+        metadata = manager.load_latest(model_c, optimizer=opt_c, scheduler=sched_c)
+        assert metadata["step"] == 2
+        losses_c = run_epochs(model_c, opt_c, sched_c, data, epochs=2)
+        assert losses_b + losses_c == losses_a
+
+    def test_latest_verified_skips_corrupt_newest(self, tmp_path, setup):
+        model, opt, sched, data = setup
+        manager = CheckpointManager(tmp_path, keep_last=3)
+        for step in (1, 2, 3):
+            run_epochs(model, opt, sched, data, epochs=1)
+            manager.save(model, step)
+        # Damage the newest (and its backup path is absent: first write).
+        newest = manager.path_for(3)
+        newest.write_bytes(newest.read_bytes()[:64])
+        assert manager.latest_verified() == manager.path_for(2)
+        fresh, _, _, _ = make_setup(seed=11)
+        assert manager.load_latest(fresh)["step"] == 2
+
+    def test_empty_directory_loads_nothing(self, tmp_path, setup):
+        model, *_ = setup
+        manager = CheckpointManager(tmp_path / "void")
+        assert manager.latest_verified() is None
+        assert manager.load_latest(model) is None
+
+    def test_all_corrupt_loads_nothing(self, tmp_path, setup):
+        model, *_ = setup
+        manager = CheckpointManager(tmp_path)
+        manager.save(model, 1)
+        for path in tmp_path.glob("*.npz*"):
+            path.write_bytes(b"junk")
+        assert manager.latest_verified() is None
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ConfigError):
+            CheckpointManager(tmp_path, keep_last=0)
+        with pytest.raises(ConfigError):
+            CheckpointManager(tmp_path, prefix="../evil")
+        manager = CheckpointManager(tmp_path)
+        with pytest.raises(ConfigError):
+            manager.save(object(), -1)
+
+
+class TestLegacyCheckpoints:
+    def test_pre_digest_checkpoint_still_loads(self, tmp_path, setup):
+        """Files written by the old in-place np.savez path (no digest)
+        are grandfathered: they load, just unverified."""
+        model, *_ = setup
+        path = save_checkpoint(model, tmp_path / "new")
+        with np.load(path) as archive:
+            payload = {k: archive[k] for k in archive.files if k != "__integrity__"}
+        legacy = tmp_path / "legacy.npz"
+        np.savez(legacy, **payload)
+        fresh, _, _, _ = make_setup(seed=3)
+        load_checkpoint(fresh, legacy)
+        for (name, a), (_, b) in zip(
+            model.named_parameters(), fresh.named_parameters()
+        ):
+            np.testing.assert_array_equal(a.data, b.data, err_msg=name)

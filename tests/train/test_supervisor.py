@@ -1,0 +1,188 @@
+"""Self-healing training: the crash matrix.
+
+The acceptance criterion of the durability stack: under pinned fault
+schedules, SIGKILL at assorted points during supervised training always
+recovers, the final weights are **bitwise-identical** to the
+uninterrupted run's, and no corrupt checkpoint is ever accepted (loads
+verify the digest or fall back to ``.bak``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DivergenceError, SupervisorError
+from repro.faultfs import FaultSchedule
+from repro.train import Supervisor, TrainPlan, Trainer, load_checkpoint
+
+from supervisor_recipes import make_setup, recipe_factory
+
+EPOCHS = 4
+
+
+def final_weights(checkpoint_path):
+    model, _, _, _ = make_setup(seed=424242)  # deliberately different init
+    load_checkpoint(model, checkpoint_path)
+    return {name: np.array(p.data) for name, p in model.named_parameters()}
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    """The uninterrupted supervised run: 4 epochs, no faults."""
+    directory = tmp_path_factory.mktemp("baseline")
+    result = Supervisor(
+        recipe_factory, epochs=EPOCHS, checkpoint_dir=directory,
+        heartbeat_timeout=60.0,
+    ).run()
+    assert result.restarts == 0 and result.events == []
+    return result
+
+
+def supervise_with(tmp_path, plan, **overrides):
+    kwargs = dict(
+        epochs=EPOCHS,
+        checkpoint_dir=tmp_path / "ckpts",
+        heartbeat_timeout=60.0,
+        backoff_base=0.01,
+        backoff_cap=0.05,
+        plan=plan,
+    )
+    kwargs.update(overrides)
+    return Supervisor(recipe_factory, **kwargs).run()
+
+
+# The pinned crash matrix: SIGKILL at assorted points (epoch boundaries
+# both sides of the save, plus mid-save via faultfs schedules), multiple
+# kills per run, and kills stacked with filesystem faults.
+CRASH_MATRIX = {
+    "kill_before_first_save": TrainPlan(kill_after_epoch={0: (0, "before_save")}),
+    "kill_after_first_save": TrainPlan(kill_after_epoch={0: (0, "after_save")}),
+    "kill_mid_run_before_save": TrainPlan(kill_after_epoch={0: (2, "before_save")}),
+    "kill_last_epoch_before_save": TrainPlan(
+        kill_after_epoch={0: (EPOCHS - 1, "before_save")}
+    ),
+    "kill_twice": TrainPlan(
+        kill_after_epoch={0: (1, "before_save"), 1: (2, "after_save")}
+    ),
+    "kill_three_generations": TrainPlan(
+        kill_after_epoch={
+            0: (0, "before_save"),
+            1: (1, "after_save"),
+            2: (3, "before_save"),
+        }
+    ),
+    "torn_write_mid_save": TrainPlan(
+        fault_schedules={0: FaultSchedule(torn_write_at={1: 0.5})}
+    ),
+    "crash_before_rename": TrainPlan(
+        fault_schedules={0: FaultSchedule(crash_at_rename={2: "before"})}
+    ),
+    "torn_publish_then_kill": TrainPlan(
+        # Generation 0: fsync dropped and crash after rename — the
+        # published checkpoint is torn and must be rejected on resume.
+        fault_schedules={0: FaultSchedule(drop_fsync_at=(2,), crash_at_rename={1: "after"})},
+        kill_after_epoch={1: (2, "before_save")},
+    ),
+    "enospc_then_kill": TrainPlan(
+        fault_schedules={0: FaultSchedule(enospc_at=(1,))},
+        kill_after_epoch={1: (3, "before_save")},
+    ),
+}
+
+
+class TestCrashMatrix:
+    @pytest.mark.parametrize("case", sorted(CRASH_MATRIX))
+    def test_recovers_bitwise_identical(self, tmp_path, baseline, case):
+        result = supervise_with(tmp_path, CRASH_MATRIX[case], max_restarts=6)
+        assert result.restarts >= 1, "the fault plan should have cost a generation"
+        assert result.epochs == EPOCHS
+        assert result.final_loss == baseline.final_loss
+        expected = final_weights(baseline.final_checkpoint)
+        actual = final_weights(result.final_checkpoint)
+        assert expected.keys() == actual.keys()
+        for name in expected:
+            np.testing.assert_array_equal(actual[name], expected[name], err_msg=name)
+
+    def test_unfaulted_run_never_restarts(self, tmp_path, baseline):
+        result = supervise_with(tmp_path, TrainPlan())
+        assert result.restarts == 0
+        actual = final_weights(result.final_checkpoint)
+        for name, value in final_weights(baseline.final_checkpoint).items():
+            np.testing.assert_array_equal(actual[name], value, err_msg=name)
+
+
+class TestHeartbeatLoss:
+    def test_hung_child_is_detected_and_replaced(self, tmp_path, baseline):
+        plan = TrainPlan(hang_after_epoch={0: 1})
+        result = supervise_with(tmp_path, plan, heartbeat_timeout=1.5)
+        assert [e["reason"] for e in result.events] == ["hung"]
+        actual = final_weights(result.final_checkpoint)
+        for name, value in final_weights(baseline.final_checkpoint).items():
+            np.testing.assert_array_equal(actual[name], value, err_msg=name)
+
+
+class TestDivergence:
+    def test_transient_divergence_rolls_back_and_recovers(self, tmp_path, baseline):
+        plan = TrainPlan(diverge_at_epoch={0: 2})  # generation 1 is clean
+        result = supervise_with(tmp_path, plan)
+        assert [e["reason"] for e in result.events] == ["diverged"]
+        assert result.final_loss == baseline.final_loss
+
+    def test_deterministic_divergence_exhausts_with_typed_error(self, tmp_path):
+        plan = TrainPlan(diverge_at_epoch={g: 1 for g in range(10)})
+        with pytest.raises(DivergenceError, match="every retry"):
+            supervise_with(tmp_path, plan, max_restarts=2)
+
+    def test_trainer_guard_raises_on_nonfinite_loss(self):
+        """The real in-loop guard: a diverging LR produces a typed error."""
+        from repro.data import DataLoader
+        from repro.tasks import ClassificationTask
+
+        model, optimizer, _, dataset = make_setup(lr=1e18)
+        trainer = Trainer(model, ClassificationTask(), optimizer)
+        with np.errstate(over="ignore", invalid="ignore"):
+            with pytest.raises(DivergenceError, match="diverged"):
+                for _ in range(60):
+                    trainer.train_epoch(DataLoader(dataset, batch_size=8, shuffle=False))
+
+
+class TestRetryBudget:
+    def test_endless_crashes_exhaust_with_supervisor_error(self, tmp_path):
+        plan = TrainPlan(
+            kill_after_epoch={g: (0, "before_save") for g in range(10)}
+        )
+        with pytest.raises(SupervisorError, match="failed 3 times"):
+            supervise_with(tmp_path, plan, max_restarts=2)
+
+    def test_progress_survives_across_supervisor_reruns(self, tmp_path):
+        """The supervisor itself is crash-safe: a second supervisor over
+        the same checkpoint dir resumes instead of restarting."""
+        plan = TrainPlan(kill_after_epoch={g: (g, "before_save") for g in range(10)})
+        with pytest.raises(SupervisorError):
+            supervise_with(tmp_path, plan, max_restarts=1)
+        # Epoch 0 is checkpointed (generation 1 got that far); a fresh,
+        # unfaulted supervisor finishes the job from there.
+        result = supervise_with(tmp_path, TrainPlan())
+        assert result.epochs == EPOCHS
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(epochs=-1),
+            dict(heartbeat_timeout=0.0),
+            dict(max_restarts=-1),
+            dict(backoff_base=2.0, backoff_cap=1.0),
+        ],
+    )
+    def test_supervisor_rejects_bad_config(self, tmp_path, bad):
+        kwargs = dict(epochs=1, checkpoint_dir=tmp_path)
+        kwargs.update(bad)
+        with pytest.raises(ConfigError):
+            Supervisor(recipe_factory, **kwargs)
+
+    def test_plan_rejects_bad_phase(self):
+        with pytest.raises(ConfigError):
+            TrainPlan(kill_after_epoch={0: (1, "mid_save")})
